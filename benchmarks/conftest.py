@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures (scaled down so
+the whole suite completes in minutes) and prints the reproduced rows next to
+the paper's numbers.  The burst corpus and the synthetic trace are built once
+per session and shared.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments import burst_corpus  # noqa: E402
+from repro.traces.synthetic import SyntheticTraceConfig, SyntheticTraceGenerator  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """Burst corpus standing in for the paper's 1,802 real-trace bursts."""
+    return burst_corpus(
+        peer_count=10,
+        duration_days=20,
+        min_table_size=4000,
+        max_table_size=30000,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def month_trace():
+    """A month-long multi-session trace for the Fig. 2 statistics."""
+    config = SyntheticTraceConfig(
+        peer_count=30,
+        duration_days=30.0,
+        min_table_size=4000,
+        max_table_size=60000,
+        noise_rate_per_second=0.0,
+        seed=13,
+    )
+    return SyntheticTraceGenerator(config).generate()

@@ -1,0 +1,39 @@
+"""Benchmarks regenerating Fig. 2(a) and Fig. 2(b) (burst statistics)."""
+
+from repro.experiments import fig2
+
+
+def test_bench_fig2a_burst_frequency(benchmark, month_trace):
+    result = benchmark.pedantic(
+        fig2.run,
+        kwargs={
+            "trace": month_trace,
+            "session_counts": (1, 5, 15, 30),
+            "min_sizes": (5000, 10000, 25000),
+            "samples": 30,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig2.format_result(result))
+    # More sessions see more bursts; larger thresholds see fewer.
+    assert result.median_bursts(30, 5000) >= result.median_bursts(5, 5000)
+    assert result.median_bursts(30, 25000) <= result.median_bursts(30, 5000)
+    # Even a single session sees bursts over a month (paper: 86% of sessions).
+    assert result.median_bursts(1, 5000) >= 0.0
+
+
+def test_bench_fig2b_burst_durations(benchmark, month_trace):
+    result = benchmark.pedantic(
+        fig2.run,
+        kwargs={"trace": month_trace, "session_counts": (1,), "min_sizes": (5000,), "samples": 5},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig2.format_result(result))
+    # A substantial fraction of bursts take more than 10 s to arrive, and
+    # bursts above 30 s are rarer (paper: 37% and 9.7%).
+    assert 0.10 <= result.duration_fraction_above_10s <= 0.65
+    assert result.duration_fraction_above_30s < result.duration_fraction_above_10s

@@ -1,0 +1,30 @@
+"""Benchmarks regenerating Fig. 6 (localisation) and Table 2 (prediction)."""
+
+from repro.experiments import fig6, table2
+from repro.metrics.quadrants import Quadrant
+
+
+def test_bench_fig6_localisation_quadrants(benchmark, corpus):
+    result = benchmark.pedantic(fig6.run, args=(corpus,), rounds=1, iterations=1)
+    print()
+    print(fig6.format_result(result))
+    # Key qualitative claims of the paper: the top-left quadrant dominates and
+    # the bottom-right quadrant is empty, with and without history.
+    assert result.bad_inference_share() == 0.0
+    if result.points_with_history:
+        assert result.with_history[Quadrant.TOP_LEFT] >= 0.5
+    if result.points_without_history:
+        assert result.without_history[Quadrant.TOP_LEFT] >= 0.4
+
+
+def test_bench_table2_prediction_accuracy(benchmark, corpus):
+    result = benchmark.pedantic(table2.run, args=(corpus,), rounds=1, iterations=1)
+    print()
+    print(table2.format_result(result))
+    assert result.small_count + result.large_count > 0
+    # SWIFT correctly predicts the majority of the future withdrawals at the
+    # median (paper: 89.5% small bursts / 93% large bursts).
+    if result.small_count:
+        assert result.median_cpr(large=False) >= 0.6
+    if result.large_count:
+        assert result.median_cpr(large=True) >= 0.6

@@ -1,0 +1,31 @@
+"""Benchmarks regenerating Fig. 7 (encoding) and Fig. 8 (learning time)."""
+
+from repro.experiments import fig7, fig8
+
+
+def test_bench_fig7_encoding_performance(benchmark, corpus):
+    subset = corpus[:12]
+    result = benchmark.pedantic(
+        fig7.run,
+        args=(subset,),
+        kwargs={"bit_budgets": (13, 18, 23, 28), "prefix_threshold": 500},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig7.format_result(result))
+    # More bits never hurt, and 18 bits already reroute the vast majority of
+    # the predicted prefixes (paper: 98.7% median).
+    medians = [result.median_at(bits) for bits in (13, 18, 23, 28)]
+    assert medians == sorted(medians)
+    assert result.median_at(18) >= 0.8
+
+
+def test_bench_fig8_learning_time(benchmark, corpus):
+    result = benchmark.pedantic(fig8.run, args=(corpus,), rounds=1, iterations=1)
+    print()
+    print(fig8.format_result(result))
+    # SWIFT learns withdrawals faster than BGP at the median and p75
+    # (paper: 2 s vs 13 s median, 9 s vs 32 s p75).
+    assert result.median(swift=True) <= result.median(swift=False)
+    assert result.p75(swift=True) <= result.p75(swift=False)

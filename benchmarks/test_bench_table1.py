@@ -1,0 +1,31 @@
+"""Benchmark regenerating Table 1 (vanilla router downtime vs burst size)."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark):
+    result = benchmark.pedantic(
+        table1.run,
+        kwargs={"burst_sizes": (10000, 50000, 100000, 290000), "use_probes": False},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table1.format_result(result))
+    # The shape must hold: roughly linear growth, ~109 s for 290k prefixes.
+    assert result.downtime_of[290000] > 25 * result.downtime_of[10000]
+    assert 60.0 < result.downtime_of[290000] < 220.0
+
+
+def test_bench_table1_probe_replay(benchmark):
+    """The probe-based replay (smaller sizes) agrees with the analytic model."""
+    result = benchmark.pedantic(
+        table1.run,
+        kwargs={"burst_sizes": (10000, 50000), "use_probes": True},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table1.format_result(result))
+    for size in (10000, 50000):
+        assert abs(result.probe_max_downtime_of[size] - result.downtime_of[size]) < 1.0

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable without an installed package.
+
+The project is normally installed with ``pip install -e .``; this shim keeps
+``pytest`` working in fully offline environments where the editable install
+cannot build its metadata (no wheel available).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

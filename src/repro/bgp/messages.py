@@ -1,0 +1,224 @@
+"""BGP message types.
+
+The SWIFT input is a timestamped stream of UPDATE messages, each carrying
+announcements (prefix + attributes) and/or withdrawals (prefix only).  We
+also model OPEN / KEEPALIVE / NOTIFICATION so that session lifecycle can be
+exercised by the session and speaker modules, and so the synthetic trace
+generator can emit session resets (a common real-world cause of bursts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.prefix import Prefix
+
+__all__ = [
+    "Announcement",
+    "BGPMessage",
+    "KeepAlive",
+    "MessageType",
+    "Notification",
+    "OpenMessage",
+    "Update",
+    "Withdraw",
+    "iter_withdrawn_prefixes",
+    "iter_announced_prefixes",
+]
+
+
+class MessageType(Enum):
+    """The four BGP message types (RFC 4271) at the abstraction we need."""
+
+    OPEN = "open"
+    UPDATE = "update"
+    KEEPALIVE = "keepalive"
+    NOTIFICATION = "notification"
+
+
+@dataclass(frozen=True)
+class BGPMessage:
+    """Base class for all messages.
+
+    ``timestamp`` is in seconds (float, arbitrary epoch); ``peer_as`` is the
+    AS the message was received from (i.e. the eBGP neighbor on the session),
+    which is how RouteViews/RIS attribute messages to vantage points.
+    """
+
+    timestamp: float
+    peer_as: int
+
+    @property
+    def type(self) -> MessageType:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class OpenMessage(BGPMessage):
+    """Session establishment message."""
+
+    hold_time: float = 90.0
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.OPEN
+
+
+@dataclass(frozen=True)
+class KeepAlive(BGPMessage):
+    """Session keepalive."""
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.KEEPALIVE
+
+
+@dataclass(frozen=True)
+class Notification(BGPMessage):
+    """Session teardown / error notification."""
+
+    error_code: int = 6
+    error_subcode: int = 0
+    reason: str = ""
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.NOTIFICATION
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """A single (prefix, attributes) announcement inside an UPDATE."""
+
+    prefix: Prefix
+    attributes: PathAttributes
+
+
+@dataclass(frozen=True)
+class Update(BGPMessage):
+    """A BGP UPDATE message.
+
+    A single UPDATE can carry several announcements sharing the same
+    attribute set plus an arbitrary list of withdrawals ("update packing",
+    §2.1.1 of the paper).  For convenience the synthetic generator usually
+    emits one prefix per message, as observed in the wild when communities
+    differ per prefix.
+    """
+
+    announcements: Tuple[Announcement, ...] = field(default_factory=tuple)
+    withdrawals: Tuple[Prefix, ...] = field(default_factory=tuple)
+
+    @property
+    def type(self) -> MessageType:
+        return MessageType.UPDATE
+
+    @property
+    def is_withdrawal_only(self) -> bool:
+        """True if the message carries no announcements."""
+        return not self.announcements and bool(self.withdrawals)
+
+    @property
+    def is_announcement_only(self) -> bool:
+        """True if the message carries no withdrawals."""
+        return bool(self.announcements) and not self.withdrawals
+
+    @property
+    def prefix_count(self) -> int:
+        """Total number of prefixes touched by this message."""
+        return len(self.announcements) + len(self.withdrawals)
+
+    @staticmethod
+    def announce(
+        timestamp: float,
+        peer_as: int,
+        prefix: Prefix,
+        attributes: PathAttributes,
+    ) -> "Update":
+        """Build an UPDATE announcing a single prefix."""
+        return Update(
+            timestamp=timestamp,
+            peer_as=peer_as,
+            announcements=(Announcement(prefix, attributes),),
+        )
+
+    @staticmethod
+    def withdraw(timestamp: float, peer_as: int, prefix: Prefix) -> "Update":
+        """Build an UPDATE withdrawing a single prefix."""
+        return Update(timestamp=timestamp, peer_as=peer_as, withdrawals=(prefix,))
+
+    @staticmethod
+    def withdraw_many(
+        timestamp: float, peer_as: int, prefixes: Sequence[Prefix]
+    ) -> "Update":
+        """Build an UPDATE withdrawing several prefixes at once."""
+        return Update(
+            timestamp=timestamp, peer_as=peer_as, withdrawals=tuple(prefixes)
+        )
+
+
+# ``Withdraw`` is a convenience alias: a withdrawal-only Update.  Exposed as a
+# distinct name because much of the SWIFT pipeline only cares about the
+# withdrawal stream.
+Withdraw = Update.withdraw
+
+
+def iter_withdrawn_prefixes(
+    messages: Iterable[BGPMessage],
+) -> Iterable[Tuple[float, int, Prefix]]:
+    """Yield ``(timestamp, peer_as, prefix)`` for every withdrawal in a stream."""
+    for message in messages:
+        if isinstance(message, Update):
+            for prefix in message.withdrawals:
+                yield message.timestamp, message.peer_as, prefix
+
+
+def iter_announced_prefixes(
+    messages: Iterable[BGPMessage],
+) -> Iterable[Tuple[float, int, Prefix, PathAttributes]]:
+    """Yield ``(timestamp, peer_as, prefix, attributes)`` for every announcement."""
+    for message in messages:
+        if isinstance(message, Update):
+            for announcement in message.announcements:
+                yield (
+                    message.timestamp,
+                    message.peer_as,
+                    announcement.prefix,
+                    announcement.attributes,
+                )
+
+
+def split_update(update: Update, max_prefixes: int) -> List[Update]:
+    """Split an UPDATE into chunks of at most ``max_prefixes`` prefixes each.
+
+    Models the router behaviour of flushing large withdrawal sets across
+    several wire messages; used by the propagation simulator to pace bursts.
+    """
+    if max_prefixes <= 0:
+        raise ValueError("max_prefixes must be positive")
+    if update.prefix_count <= max_prefixes:
+        return [update]
+    chunks: List[Update] = []
+    announcements = list(update.announcements)
+    withdrawals = list(update.withdrawals)
+    while announcements or withdrawals:
+        chunk_announcements: List[Announcement] = []
+        chunk_withdrawals: List[Prefix] = []
+        budget = max_prefixes
+        while withdrawals and budget > 0:
+            chunk_withdrawals.append(withdrawals.pop(0))
+            budget -= 1
+        while announcements and budget > 0:
+            chunk_announcements.append(announcements.pop(0))
+            budget -= 1
+        chunks.append(
+            Update(
+                timestamp=update.timestamp,
+                peer_as=update.peer_as,
+                announcements=tuple(chunk_announcements),
+                withdrawals=tuple(chunk_withdrawals),
+            )
+        )
+    return chunks

@@ -1,0 +1,306 @@
+"""IPv4 prefix representation.
+
+The whole SWIFT pipeline is keyed on prefixes: bursts are counted in
+withdrawn prefixes, the RIB maps prefixes to AS paths and the encoding
+algorithm tags packets per destination prefix.  This module provides a
+compact, hashable, total-ordered :class:`Prefix` value type plus a few
+helpers used across the code base.
+
+The implementation deliberately avoids :mod:`ipaddress` so that creating
+hundreds of thousands of prefixes (a full Internet table is ~650k routes)
+stays cheap; a prefix is just an ``(int, int)`` pair internally.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "Prefix",
+    "PrefixError",
+    "parse_prefix",
+    "prefix_block",
+    "summarize_prefixes",
+]
+
+_MAX_IPV4 = (1 << 32) - 1
+
+
+class PrefixError(ValueError):
+    """Raised when a prefix string or (network, length) pair is invalid."""
+
+
+def _dotted_to_int(dotted: str) -> int:
+    """Convert a dotted-quad IPv4 address to its integer value."""
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise PrefixError(f"invalid IPv4 address {dotted!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise PrefixError(f"invalid IPv4 address {dotted!r}")
+        octet = int(part)
+        if octet > 255:
+            raise PrefixError(f"invalid IPv4 address {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def _int_to_dotted(value: int) -> str:
+    """Convert an integer IPv4 address to dotted-quad notation."""
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+class Prefix:
+    """An IPv4 prefix such as ``203.0.113.0/24``.
+
+    Instances are immutable, hashable and totally ordered (first by network
+    address, then by prefix length), which makes them usable as dictionary
+    keys and sortable for deterministic output.
+
+    Parameters
+    ----------
+    network:
+        Network address as a 32-bit integer.  Host bits below the prefix
+        length are masked off automatically.
+    length:
+        Prefix length in ``[0, 32]``.
+    """
+
+    __slots__ = ("_network", "_length")
+
+    def __init__(self, network: int, length: int) -> None:
+        if not 0 <= length <= 32:
+            raise PrefixError(f"prefix length {length} out of range [0, 32]")
+        if not 0 <= network <= _MAX_IPV4:
+            raise PrefixError(f"network {network:#x} out of IPv4 range")
+        mask = _mask_for(length)
+        self._network = network & mask
+        self._length = length
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_string(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` (a bare address means a /32)."""
+        text = text.strip()
+        if "/" in text:
+            address, _, length_text = text.partition("/")
+            if not length_text.isdigit():
+                raise PrefixError(f"invalid prefix {text!r}")
+            length = int(length_text)
+        else:
+            address, length = text, 32
+        return cls(_dotted_to_int(address), length)
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def network(self) -> int:
+        """Network address as a 32-bit integer."""
+        return self._network
+
+    @property
+    def length(self) -> int:
+        """Prefix length."""
+        return self._length
+
+    @property
+    def netmask(self) -> int:
+        """Netmask as a 32-bit integer."""
+        return _mask_for(self._length)
+
+    @property
+    def num_addresses(self) -> int:
+        """Number of addresses covered by this prefix."""
+        return 1 << (32 - self._length)
+
+    @property
+    def first_address(self) -> int:
+        """Lowest address in the prefix (the network address)."""
+        return self._network
+
+    @property
+    def last_address(self) -> int:
+        """Highest address in the prefix (the broadcast address)."""
+        return self._network | (~self.netmask & _MAX_IPV4)
+
+    def contains_address(self, address: int) -> bool:
+        """Return ``True`` if ``address`` (an int) falls inside this prefix."""
+        return (address & self.netmask) == self._network
+
+    def contains(self, other: "Prefix") -> bool:
+        """Return ``True`` if ``other`` is equal to or more specific than us."""
+        if other._length < self._length:
+            return False
+        return (other._network & self.netmask) == self._network
+
+    def supernet(self) -> "Prefix":
+        """Return the immediately covering prefix (one bit shorter)."""
+        if self._length == 0:
+            raise PrefixError("0.0.0.0/0 has no supernet")
+        return Prefix(self._network, self._length - 1)
+
+    def subnets(self) -> Tuple["Prefix", "Prefix"]:
+        """Split this prefix into its two halves (one bit longer each)."""
+        if self._length == 32:
+            raise PrefixError("/32 prefixes cannot be subdivided")
+        child_length = self._length + 1
+        low = Prefix(self._network, child_length)
+        high = Prefix(self._network | (1 << (32 - child_length)), child_length)
+        return low, high
+
+    def bits(self) -> str:
+        """Return the significant bits of the prefix as a ``'0'``/``'1'`` string."""
+        if self._length == 0:
+            return ""
+        return format(self._network >> (32 - self._length), f"0{self._length}b")
+
+    # -- dunder protocol ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return self._network == other._network and self._length == other._length
+
+    def __lt__(self, other: "Prefix") -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return (self._network, self._length) < (other._network, other._length)
+
+    def __le__(self, other: "Prefix") -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return (self._network, self._length) <= (other._network, other._length)
+
+    def __gt__(self, other: "Prefix") -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return (self._network, self._length) > (other._network, other._length)
+
+    def __ge__(self, other: "Prefix") -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return (self._network, self._length) >= (other._network, other._length)
+
+    def __hash__(self) -> int:
+        return hash((self._network, self._length))
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+    def __str__(self) -> str:
+        return f"{_int_to_dotted(self._network)}/{self._length}"
+
+
+def _mask_for(length: int) -> int:
+    """Return the netmask integer for a prefix length."""
+    if length == 0:
+        return 0
+    return (_MAX_IPV4 << (32 - length)) & _MAX_IPV4
+
+
+def parse_prefix(text: str) -> Prefix:
+    """Convenience wrapper around :meth:`Prefix.from_string`."""
+    return Prefix.from_string(text)
+
+
+def prefix_block(base: str, count: int, length: int = 24) -> List[Prefix]:
+    """Generate ``count`` consecutive prefixes of the given length.
+
+    This is the workhorse used by the topology generators to hand each AS a
+    set of prefixes, mirroring the "each AS i originates a distinct set of
+    prefixes S_i" setup of the paper's running example (Fig. 1).
+
+    Parameters
+    ----------
+    base:
+        Starting prefix in string form, e.g. ``"10.0.0.0/24"``.  Its length
+        must match ``length``.
+    count:
+        Number of consecutive prefixes to return.
+    length:
+        Prefix length of every generated prefix.
+    """
+    start = Prefix.from_string(base)
+    if start.length != length:
+        raise PrefixError(
+            f"base prefix {base} has length {start.length}, expected {length}"
+        )
+    stride = 1 << (32 - length)
+    prefixes: List[Prefix] = []
+    network = start.network
+    for _ in range(count):
+        if network > _MAX_IPV4:
+            raise PrefixError("prefix block overflows IPv4 address space")
+        prefixes.append(Prefix(network, length))
+        network += stride
+    return prefixes
+
+
+def summarize_prefixes(prefixes: Iterable[Prefix]) -> List[Prefix]:
+    """Aggregate adjacent sibling prefixes into their supernets.
+
+    The summarisation is exact: the returned list covers exactly the same
+    address space as the input (assuming the input contains no duplicates),
+    with the minimum number of prefixes.  It is used by the synthetic trace
+    generator to emit realistic mixes of prefix lengths.
+    """
+    working = sorted(set(prefixes))
+    merged = True
+    while merged:
+        merged = False
+        result: List[Prefix] = []
+        index = 0
+        while index < len(working):
+            current = working[index]
+            if index + 1 < len(working) and current.length == working[index + 1].length:
+                sibling = working[index + 1]
+                if current.length > 0:
+                    parent = current.supernet()
+                    if parent.contains(current) and parent.contains(sibling) and (
+                        sibling.network == current.network + current.num_addresses
+                    ):
+                        result.append(parent)
+                        index += 2
+                        merged = True
+                        continue
+            result.append(current)
+            index += 1
+        working = result
+    return working
+
+
+def iter_addresses(prefix: Prefix, limit: int = 256) -> Iterator[int]:
+    """Yield up to ``limit`` addresses contained in ``prefix``.
+
+    Used by the case-study probe harness, which sends traffic to a sample of
+    addresses inside the withdrawn prefixes (the paper probes 100 random IPs).
+    """
+    count = min(limit, prefix.num_addresses)
+    for offset in range(count):
+        yield prefix.network + offset
+
+
+def random_addresses(
+    prefixes: Sequence[Prefix], count: int, rng
+) -> List[int]:
+    """Pick ``count`` random addresses, each from a random prefix.
+
+    Parameters
+    ----------
+    prefixes:
+        Non-empty sequence of candidate prefixes.
+    count:
+        Number of addresses to draw (with replacement across prefixes).
+    rng:
+        A :class:`random.Random` instance, for deterministic experiments.
+    """
+    if not prefixes:
+        raise PrefixError("cannot sample addresses from an empty prefix list")
+    addresses: List[int] = []
+    for _ in range(count):
+        prefix = prefixes[rng.randrange(len(prefixes))]
+        offset = rng.randrange(prefix.num_addresses)
+        addresses.append(prefix.network + offset)
+    return addresses

@@ -1,0 +1,253 @@
+"""Routing Information Bases.
+
+A SWIFTED router needs, per peering session, the set of prefixes currently
+reachable and their AS paths: that is the Adj-RIB-In.  The Loc-RIB stores the
+outcome of the decision process across all sessions, which is what the SWIFT
+encoding algorithm reads to compute tags (the "best AS paths" column in
+Fig. 5 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.bgp.attributes import ASPath, PathAttributes
+from repro.bgp.prefix import Prefix
+
+__all__ = ["AdjRibIn", "LocRib", "RibEntry", "RouteChange", "RouteChangeKind"]
+
+
+@dataclass(frozen=True)
+class RibEntry:
+    """A route stored in a RIB: a prefix with its attributes and source peer."""
+
+    prefix: Prefix
+    attributes: PathAttributes
+    peer_as: int
+    learned_at: float = 0.0
+
+    @property
+    def as_path(self) -> ASPath:
+        """Shortcut to the entry's AS path."""
+        return self.attributes.as_path
+
+    @property
+    def next_hop(self) -> int:
+        """Shortcut to the entry's next hop (an AS number in our model)."""
+        return self.attributes.next_hop
+
+
+class RouteChangeKind(Enum):
+    """What happened to the best route for a prefix after an input event."""
+
+    NEW = "new"
+    UPDATED = "updated"
+    WITHDRAWN = "withdrawn"
+    UNCHANGED = "unchanged"
+
+
+@dataclass(frozen=True)
+class RouteChange:
+    """Result of feeding one announcement/withdrawal through a RIB."""
+
+    kind: RouteChangeKind
+    prefix: Prefix
+    old: Optional[RibEntry] = None
+    new: Optional[RibEntry] = None
+
+
+class AdjRibIn:
+    """Per-peer RIB holding the routes announced on one session.
+
+    Mirrors the RIB a border router maintains per eBGP neighbor.  SWIFT's
+    Path Share metric P(l, t) — "prefixes whose paths still traverse l at t" —
+    is answered from this structure via :meth:`prefixes_via_link`.
+    """
+
+    def __init__(self, peer_as: int) -> None:
+        self.peer_as = peer_as
+        self._routes: Dict[Prefix, RibEntry] = {}
+        # Reverse index: canonical AS link -> set of prefixes whose current
+        # path traverses the link.  Kept in sync on every announce/withdraw
+        # so the inference engine can query path shares in O(1).
+        self._link_index: Dict[Tuple[int, int], set] = {}
+
+    # -- mutation ---------------------------------------------------------
+
+    def announce(
+        self, prefix: Prefix, attributes: PathAttributes, timestamp: float = 0.0
+    ) -> RouteChange:
+        """Install or replace the route for ``prefix``."""
+        old = self._routes.get(prefix)
+        entry = RibEntry(
+            prefix=prefix,
+            attributes=attributes,
+            peer_as=self.peer_as,
+            learned_at=timestamp,
+        )
+        if old is not None:
+            self._unindex(old)
+        self._routes[prefix] = entry
+        self._index(entry)
+        kind = RouteChangeKind.UPDATED if old is not None else RouteChangeKind.NEW
+        return RouteChange(kind=kind, prefix=prefix, old=old, new=entry)
+
+    def withdraw(self, prefix: Prefix, timestamp: float = 0.0) -> RouteChange:
+        """Remove the route for ``prefix`` if present."""
+        old = self._routes.pop(prefix, None)
+        if old is None:
+            return RouteChange(kind=RouteChangeKind.UNCHANGED, prefix=prefix)
+        self._unindex(old)
+        return RouteChange(kind=RouteChangeKind.WITHDRAWN, prefix=prefix, old=old)
+
+    def clear(self) -> None:
+        """Drop every route (session reset)."""
+        self._routes.clear()
+        self._link_index.clear()
+
+    # -- queries ----------------------------------------------------------
+
+    def get(self, prefix: Prefix) -> Optional[RibEntry]:
+        """Return the route for ``prefix`` or ``None``."""
+        return self._routes.get(prefix)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._routes
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[Prefix]:
+        return iter(self._routes)
+
+    def prefixes(self) -> Iterator[Prefix]:
+        """Iterate over all prefixes with a route."""
+        return iter(self._routes)
+
+    def entries(self) -> Iterator[RibEntry]:
+        """Iterate over all stored routes."""
+        return iter(self._routes.values())
+
+    def prefixes_via_link(self, link: Tuple[int, int]) -> frozenset:
+        """Prefixes whose current AS path traverses the (undirected) link."""
+        canonical = link if link[0] <= link[1] else (link[1], link[0])
+        members = self._link_index.get(canonical)
+        return frozenset(members) if members else frozenset()
+
+    def prefix_count_via_link(self, link: Tuple[int, int]) -> int:
+        """Number of prefixes currently routed over the link."""
+        canonical = link if link[0] <= link[1] else (link[1], link[0])
+        members = self._link_index.get(canonical)
+        return len(members) if members else 0
+
+    def links(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over every AS link traversed by at least one route."""
+        for link, members in self._link_index.items():
+            if members:
+                yield link
+
+    def link_prefix_counts(self) -> Dict[Tuple[int, int], int]:
+        """Snapshot mapping link -> number of prefixes routed over it."""
+        return {link: len(members) for link, members in self._link_index.items() if members}
+
+    def prefixes_via_as(self, asn: int) -> frozenset:
+        """Prefixes whose current AS path visits the AS ``asn``."""
+        result = set()
+        for prefix, entry in self._routes.items():
+            if entry.as_path.traverses_as(asn):
+                result.add(prefix)
+        return frozenset(result)
+
+    # -- internals --------------------------------------------------------
+
+    def _index(self, entry: RibEntry) -> None:
+        for link in entry.as_path.links():
+            self._link_index.setdefault(link, set()).add(entry.prefix)
+
+    def _unindex(self, entry: RibEntry) -> None:
+        for link in entry.as_path.links():
+            members = self._link_index.get(link)
+            if members is None:
+                continue
+            members.discard(entry.prefix)
+            if not members:
+                del self._link_index[link]
+
+
+class LocRib:
+    """The router-wide best-route table.
+
+    Stores, per prefix, the best entry chosen by the decision process as well
+    as the full set of candidate entries (one per peer announcing the prefix).
+    The candidates are what SWIFT mines for backup next-hops: "the AS paths
+    received from AS 4 also uses (5, 6)" reasoning in §5 requires knowing all
+    the alternatives, not only the best one.
+    """
+
+    def __init__(self) -> None:
+        self._best: Dict[Prefix, RibEntry] = {}
+        self._candidates: Dict[Prefix, Dict[int, RibEntry]] = {}
+
+    # -- mutation ---------------------------------------------------------
+
+    def set_candidate(self, entry: RibEntry) -> None:
+        """Record ``entry`` as the route offered by ``entry.peer_as``."""
+        self._candidates.setdefault(entry.prefix, {})[entry.peer_as] = entry
+
+    def remove_candidate(self, prefix: Prefix, peer_as: int) -> Optional[RibEntry]:
+        """Remove the candidate from ``peer_as`` for ``prefix`` if present."""
+        peers = self._candidates.get(prefix)
+        if not peers:
+            return None
+        removed = peers.pop(peer_as, None)
+        if not peers:
+            self._candidates.pop(prefix, None)
+        return removed
+
+    def set_best(self, entry: Optional[RibEntry], prefix: Optional[Prefix] = None) -> None:
+        """Install ``entry`` as best route (or clear it when ``entry`` is None)."""
+        if entry is None:
+            if prefix is None:
+                raise ValueError("prefix required when clearing a best route")
+            self._best.pop(prefix, None)
+        else:
+            self._best[entry.prefix] = entry
+
+    def clear(self) -> None:
+        """Drop all state."""
+        self._best.clear()
+        self._candidates.clear()
+
+    # -- queries ----------------------------------------------------------
+
+    def best(self, prefix: Prefix) -> Optional[RibEntry]:
+        """Return the best route for ``prefix`` or ``None``."""
+        return self._best.get(prefix)
+
+    def candidates(self, prefix: Prefix) -> List[RibEntry]:
+        """Return all candidate routes for ``prefix`` (any peer)."""
+        return list(self._candidates.get(prefix, {}).values())
+
+    def candidate_from(self, prefix: Prefix, peer_as: int) -> Optional[RibEntry]:
+        """Return the candidate offered by a specific peer, if any."""
+        return self._candidates.get(prefix, {}).get(peer_as)
+
+    def best_entries(self) -> Iterator[RibEntry]:
+        """Iterate over all best routes."""
+        return iter(self._best.values())
+
+    def prefixes(self) -> Iterator[Prefix]:
+        """Iterate over prefixes that have a best route."""
+        return iter(self._best)
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._best
+
+    def best_paths_by_prefix(self) -> Dict[Prefix, ASPath]:
+        """Snapshot of prefix -> best AS path (input to the encoding algorithm)."""
+        return {prefix: entry.as_path for prefix, entry in self._best.items()}

@@ -1,0 +1,179 @@
+"""A minimal multi-session BGP speaker.
+
+The :class:`BGPSpeaker` glues sessions, the decision process and the Loc-RIB
+together: it accepts messages from any of its peering sessions, re-runs best
+path selection for the touched prefixes, and reports best-route changes.
+The case-study "vanilla router" (§2.1.2 / §7) builds on this speaker, adding
+a timing model for FIB installation; the SWIFTED router wraps the same
+speaker with the SWIFT engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bgp.decision import DecisionProcess, default_decision_process
+from repro.bgp.messages import BGPMessage, Update
+from repro.bgp.prefix import Prefix
+from repro.bgp.rib import LocRib, RibEntry, RouteChange, RouteChangeKind
+from repro.bgp.session import PeeringSession
+
+__all__ = ["BGPSpeaker", "BestRouteChange"]
+
+
+@dataclass(frozen=True)
+class BestRouteChange:
+    """A change of the best route for a prefix after processing messages."""
+
+    prefix: Prefix
+    old: Optional[RibEntry]
+    new: Optional[RibEntry]
+
+    @property
+    def is_loss_of_reachability(self) -> bool:
+        """True when the prefix went from routed to unrouted."""
+        return self.old is not None and self.new is None
+
+    @property
+    def is_recovery(self) -> bool:
+        """True when the prefix went from unrouted to routed."""
+        return self.old is None and self.new is not None
+
+    @property
+    def next_hop_changed(self) -> bool:
+        """True when both routes exist but point at different next hops."""
+        return (
+            self.old is not None
+            and self.new is not None
+            and self.old.next_hop != self.new.next_hop
+        )
+
+
+class BGPSpeaker:
+    """A border router speaking eBGP over several peering sessions.
+
+    Parameters
+    ----------
+    local_as:
+        The router's AS number.
+    decision_process:
+        Best-path selection logic; defaults to the standard BGP ranking.
+    """
+
+    def __init__(
+        self,
+        local_as: int,
+        decision_process: Optional[DecisionProcess] = None,
+    ) -> None:
+        self.local_as = local_as
+        self.decision_process = decision_process or default_decision_process()
+        self.loc_rib = LocRib()
+        self._sessions: Dict[int, PeeringSession] = {}
+        self._best_route_listeners: List[Callable[[List[BestRouteChange]], None]] = []
+
+    # -- session management -----------------------------------------------
+
+    def add_peer(self, peer_as: int, name: Optional[str] = None) -> PeeringSession:
+        """Create (and establish) a session with ``peer_as``."""
+        if peer_as in self._sessions:
+            raise ValueError(f"session with AS {peer_as} already exists")
+        session = PeeringSession(self.local_as, peer_as, name=name)
+        session.establish()
+        self._sessions[peer_as] = session
+        return session
+
+    def remove_peer(self, peer_as: int) -> List[BestRouteChange]:
+        """Tear down the session with ``peer_as`` and withdraw its routes."""
+        session = self._sessions.pop(peer_as, None)
+        if session is None:
+            raise KeyError(peer_as)
+        affected = list(session.rib_in.prefixes())
+        session.close()
+        for prefix in affected:
+            self.loc_rib.remove_candidate(prefix, peer_as)
+        return self._reselect(affected)
+
+    def session(self, peer_as: int) -> PeeringSession:
+        """Return the session with ``peer_as`` (KeyError if unknown)."""
+        return self._sessions[peer_as]
+
+    def sessions(self) -> List[PeeringSession]:
+        """All sessions, in insertion order."""
+        return list(self._sessions.values())
+
+    @property
+    def peer_ases(self) -> List[int]:
+        """AS numbers of all configured peers."""
+        return list(self._sessions)
+
+    def add_best_route_listener(
+        self, callback: Callable[[List[BestRouteChange]], None]
+    ) -> None:
+        """Register a callback invoked with the best-route changes of each batch."""
+        self._best_route_listeners.append(callback)
+
+    # -- message handling -------------------------------------------------
+
+    def receive(self, message: BGPMessage) -> List[BestRouteChange]:
+        """Process one message from the peer it names and update best routes."""
+        session = self._sessions.get(message.peer_as)
+        if session is None:
+            raise KeyError(f"no session with AS {message.peer_as}")
+        changes = session.process(message)
+        touched: List[Prefix] = []
+        for change in changes:
+            if change.kind == RouteChangeKind.UNCHANGED:
+                continue
+            touched.append(change.prefix)
+            if change.new is not None:
+                self.loc_rib.set_candidate(change.new)
+            else:
+                self.loc_rib.remove_candidate(change.prefix, message.peer_as)
+        best_changes = self._reselect(touched)
+        if best_changes:
+            for listener in self._best_route_listeners:
+                listener(best_changes)
+        return best_changes
+
+    def receive_all(self, messages: Iterable[BGPMessage]) -> List[BestRouteChange]:
+        """Process a stream of messages; returns every best-route change."""
+        all_changes: List[BestRouteChange] = []
+        for message in messages:
+            all_changes.extend(self.receive(message))
+        return all_changes
+
+    # -- queries ----------------------------------------------------------
+
+    def best_route(self, prefix: Prefix) -> Optional[RibEntry]:
+        """The current best route for ``prefix``, or ``None``."""
+        return self.loc_rib.best(prefix)
+
+    def alternate_routes(self, prefix: Prefix) -> List[RibEntry]:
+        """Candidate routes other than the current best, most preferred first."""
+        best = self.loc_rib.best(prefix)
+        candidates = [
+            entry
+            for entry in self.loc_rib.candidates(prefix)
+            if best is None or entry.peer_as != best.peer_as
+        ]
+        return self.decision_process.rank(candidates)
+
+    def routed_prefixes(self) -> frozenset:
+        """Prefixes that currently have a best route."""
+        return frozenset(self.loc_rib.prefixes())
+
+    # -- internals --------------------------------------------------------
+
+    def _reselect(self, prefixes: Sequence[Prefix]) -> List[BestRouteChange]:
+        changes: List[BestRouteChange] = []
+        for prefix in prefixes:
+            old = self.loc_rib.best(prefix)
+            new = self.decision_process.select(self.loc_rib.candidates(prefix))
+            if old is new:
+                continue
+            if old is not None and new is not None and old == new:
+                continue
+            self.loc_rib.set_best(new, prefix=prefix)
+            changes.append(BestRouteChange(prefix=prefix, old=old, new=new))
+        return changes

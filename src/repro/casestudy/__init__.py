@@ -1,0 +1,34 @@
+"""Case-study substrate: the Fig. 1 testbed, vanilla router and §7 deployment.
+
+The paper quantifies the problem (Table 1) and the solution (Fig. 9(a)) on a
+hardware testbed reproducing Fig. 1 with a Cisco Nexus 7k and, for the
+SWIFTED case, an OpenFlow switch plus a SWIFT controller.  This package
+models that testbed:
+
+* :mod:`repro.casestudy.testbed` builds the router-level Fig. 1 scenario
+  (per-peer RIBs, burst of withdrawals upon the (5, 6) failure, probe
+  prefixes),
+* :mod:`repro.casestudy.vanilla` is the discrete-time model of a vanilla
+  router converging one prefix at a time,
+* :mod:`repro.casestudy.controller` is the §7 alternative deployment: a
+  SWIFT controller and an SDN switch interposed between an unmodified router
+  and its peers,
+* :mod:`repro.casestudy.probes` measures per-probe downtime and packet-loss
+  series.
+"""
+
+from repro.casestudy.controller import SdnSwitch, SwiftController, SwiftedDeployment
+from repro.casestudy.probes import DowntimeReport, measure_downtime
+from repro.casestudy.testbed import Fig1Scenario, build_fig1_scenario
+from repro.casestudy.vanilla import VanillaRouterModel
+
+__all__ = [
+    "DowntimeReport",
+    "Fig1Scenario",
+    "SdnSwitch",
+    "SwiftController",
+    "SwiftedDeployment",
+    "VanillaRouterModel",
+    "build_fig1_scenario",
+    "measure_downtime",
+]

@@ -1,0 +1,247 @@
+"""Backup next-hop computation and rerouting policies (§3.2, §5).
+
+Before any outage, a SWIFTED router continuously pre-computes, for every
+prefix and for every AS link on the prefix's primary path, the next-hop to
+use should that link fail.  A valid backup next-hop for (prefix, link) is a
+neighbor offering an alternate route for the prefix whose AS path avoids
+*both endpoints* of the link (§4.2, footnote: avoiding both endpoints keeps
+the choice safe whichever side of the link turns out to be the failure's
+common endpoint, and also when whole ASes rather than single links fail).
+
+The selection among valid candidates honours operator *rerouting policies*
+(§3.2): preferences between neighbor classes (customer / peer / provider),
+per-neighbor bans, and capacity caps preventing large traffic volumes from
+being shifted onto low-bandwidth or nearly-saturated links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bgp.attributes import ASPath
+from repro.bgp.prefix import Prefix
+from repro.bgp.rib import RibEntry
+
+__all__ = ["BackupComputer", "BackupSelection", "ReroutingPolicy"]
+
+Link = Tuple[int, int]
+
+
+def _canonical(link: Link) -> Link:
+    return link if link[0] <= link[1] else (link[1], link[0])
+
+
+@dataclass(frozen=True)
+class ReroutingPolicy:
+    """Operator preferences constraining backup next-hop selection.
+
+    Attributes
+    ----------
+    forbidden_next_hops:
+        Neighbors that must never be used as backups (e.g. expensive transit).
+    preferences:
+        Mapping neighbor AS -> preference value; *lower is preferred*.  Absent
+        neighbors get :attr:`default_preference`.  Operators typically derive
+        this from the business relationship (customer 0, peer 1, provider 2).
+    capacity_limits:
+        Mapping neighbor AS -> maximum number of prefixes that may be
+        rerouted onto it in one SWIFT activation.  Stands in for the paper's
+        bandwidth/95th-percentile concerns: prefix count is the proxy for
+        traffic volume available at the control plane.
+    default_preference:
+        Preference used for neighbors absent from ``preferences``.
+    """
+
+    forbidden_next_hops: FrozenSet[int] = frozenset()
+    preferences: Mapping[int, int] = field(default_factory=dict)
+    capacity_limits: Mapping[int, int] = field(default_factory=dict)
+    default_preference: int = 10
+
+    def preference_of(self, neighbor: int) -> int:
+        """Preference value of a neighbor (lower is better)."""
+        return self.preferences.get(neighbor, self.default_preference)
+
+    def allows(self, neighbor: int) -> bool:
+        """Whether the neighbor may be used as a backup at all."""
+        return neighbor not in self.forbidden_next_hops
+
+    def capacity_of(self, neighbor: int) -> Optional[int]:
+        """Prefix-count cap for the neighbor, or ``None`` when unlimited."""
+        return self.capacity_limits.get(neighbor)
+
+
+@dataclass(frozen=True)
+class BackupSelection:
+    """The backup chosen for one (prefix, protected link) pair."""
+
+    prefix: Prefix
+    protected_link: Link
+    next_hop: int
+    as_path: ASPath
+
+    @property
+    def depth(self) -> int:
+        """Length of the backup AS path."""
+        return len(self.as_path)
+
+
+class BackupComputer:
+    """Computes per-prefix, per-link backup next-hops from alternate routes.
+
+    Parameters
+    ----------
+    policy:
+        The operator's rerouting policy; defaults to "anything goes".
+    max_depth:
+        Only links up to this position in the primary AS path are protected
+        (the paper encodes up to depth 4-5; farther links rarely cause large
+        bursts because intermediate ASes usually know a backup, §5).
+    """
+
+    def __init__(
+        self,
+        policy: Optional[ReroutingPolicy] = None,
+        max_depth: int = 4,
+        avoid_both_endpoints: bool = False,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.policy = policy or ReroutingPolicy()
+        self.max_depth = max_depth
+        self.avoid_both_endpoints = avoid_both_endpoints
+
+    # -- per-prefix computation -------------------------------------------------
+
+    def protected_links(self, primary_path: ASPath, local_as: int) -> List[Link]:
+        """The AS links of the primary path to protect, nearest first.
+
+        Includes the link between the local AS and the primary next-hop
+        (depth 1) and then the links along the path up to ``max_depth``.
+        """
+        if len(primary_path) == 0:
+            return []
+        links: List[Link] = [_canonical((local_as, primary_path.first_hop))]
+        for link, position in primary_path.links_with_positions():
+            if position + 1 > self.max_depth:
+                break
+            links.append(link)
+        return links
+
+    def candidates_for(
+        self,
+        prefix: Prefix,
+        protected_link: Link,
+        alternates: Sequence[RibEntry],
+    ) -> List[RibEntry]:
+        """Alternate routes usable as backups for ``protected_link``.
+
+        A candidate is valid when its AS path does not traverse the protected
+        link (the Fig. 3 / §5 rule: "only AS 3 can be used as a backup
+        next-hop, since the AS paths received from AS 4 also use (5, 6)") and
+        its next-hop is allowed by the policy.  When the computer was built
+        with ``avoid_both_endpoints=True`` the stricter rule of the §4.2
+        footnote is applied instead: the candidate must avoid *both* endpoints
+        of the link, which keeps rerouting safe even when the inference can
+        only localise the failure to a set of links sharing an endpoint.
+        """
+        a, b = protected_link
+        canonical = _canonical(protected_link)
+        valid: List[RibEntry] = []
+        for entry in alternates:
+            if entry.prefix != prefix:
+                continue
+            if not self.policy.allows(entry.next_hop):
+                continue
+            if self.avoid_both_endpoints:
+                path_asns = set(entry.as_path.asns)
+                if a in path_asns or b in path_asns:
+                    continue
+            elif canonical in entry.as_path.links():
+                continue
+            valid.append(entry)
+        return valid
+
+    def select(
+        self,
+        prefix: Prefix,
+        protected_link: Link,
+        alternates: Sequence[RibEntry],
+        usage: Optional[Dict[int, int]] = None,
+    ) -> Optional[BackupSelection]:
+        """Choose the best backup for one (prefix, link) pair.
+
+        ``usage`` tracks how many prefixes have already been assigned to each
+        neighbor during this computation; it is consulted (and updated) to
+        enforce the policy's capacity limits.
+        """
+        protected_link = _canonical(protected_link)
+        candidates = self.candidates_for(prefix, protected_link, alternates)
+        if not candidates:
+            return None
+        ranked = sorted(
+            candidates,
+            key=lambda entry: (
+                self.policy.preference_of(entry.next_hop),
+                len(entry.as_path),
+                entry.next_hop,
+            ),
+        )
+        for entry in ranked:
+            capacity = self.policy.capacity_of(entry.next_hop)
+            if capacity is not None and usage is not None:
+                if usage.get(entry.next_hop, 0) >= capacity:
+                    continue
+            if usage is not None:
+                usage[entry.next_hop] = usage.get(entry.next_hop, 0) + 1
+            return BackupSelection(
+                prefix=prefix,
+                protected_link=protected_link,
+                next_hop=entry.next_hop,
+                as_path=entry.as_path,
+            )
+        return None
+
+    # -- table-wide computation -------------------------------------------------
+
+    def compute_table(
+        self,
+        local_as: int,
+        best_routes: Mapping[Prefix, RibEntry],
+        alternates_of: Callable[[Prefix], Sequence[RibEntry]],
+    ) -> Dict[Prefix, Dict[Link, BackupSelection]]:
+        """Backups for every prefix and every protected link of its best path.
+
+        Parameters
+        ----------
+        local_as:
+            The SWIFTED router's AS number.
+        best_routes:
+            The Loc-RIB best route of each prefix.
+        alternates_of:
+            Callable returning the alternate candidate routes of a prefix
+            (typically :meth:`repro.bgp.speaker.BGPSpeaker.alternate_routes`).
+        """
+        usage: Dict[int, int] = {}
+        table: Dict[Prefix, Dict[Link, BackupSelection]] = {}
+        for prefix, best in best_routes.items():
+            alternates = alternates_of(prefix)
+            per_link: Dict[Link, BackupSelection] = {}
+            for link in self.protected_links(best.as_path, local_as):
+                selection = self.select(prefix, link, alternates, usage)
+                if selection is not None:
+                    per_link[link] = selection
+            if per_link:
+                table[prefix] = per_link
+        return table
+
+    def backup_next_hops_by_link(
+        self, table: Mapping[Prefix, Mapping[Link, BackupSelection]]
+    ) -> Dict[Link, Dict[int, int]]:
+        """Summarise a backup table as link -> {next_hop: number of prefixes}."""
+        summary: Dict[Link, Dict[int, int]] = {}
+        for per_link in table.values():
+            for link, selection in per_link.items():
+                counts = summary.setdefault(link, {})
+                counts[selection.next_hop] = counts.get(selection.next_hop, 0) + 1
+        return summary

@@ -1,0 +1,460 @@
+"""The SWIFT data-plane tag encoding algorithm (§5).
+
+Every packet entering a SWIFTED router receives a fixed-width tag (48 bits by
+default, carried in the destination MAC).  The tag has two parts:
+
+* **Part 1 — AS links traversed.**  For each AS-path *position* (position 1
+  is the link between the primary next-hop and the following AS; the link
+  between the router and its neighbor needs no encoding since it is implied
+  by the primary next-hop), a dedicated group of bits identifies which AS
+  link the packet's current best path crosses at that position.  Only links
+  carrying at least ``prefix_threshold`` prefixes (1,500 in the paper) and
+  appearing within ``max_path_depth`` positions are encoded; the encoder
+  allocates identifiers greedily, heaviest links first, until the part-1 bit
+  budget is exhausted.
+
+* **Part 2 — next-hops.**  One group identifies the primary next-hop and one
+  group per protected depth identifies the backup next-hop to use if the
+  link at that depth fails.  With 48-bit tags, 18 bits of part 1 and depth 4
+  this yields 30 / 5 = 6 bits per group, i.e. 64 distinct next-hops (§5,
+  "Partitioning bits").
+
+Upon an inference "link ``l`` failed at position ``d``", the router installs
+a single wildcard rule per backup next-hop: match packets whose position-``d``
+group equals the identifier of ``l`` *and* whose depth-``d`` backup group
+equals that next-hop, and forward them to it — rerouting every affected
+prefix at once, regardless of how many there are.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bgp.attributes import ASPath
+from repro.bgp.prefix import Prefix
+from repro.core.backup import BackupSelection
+
+__all__ = ["EncodedTags", "EncoderConfig", "TagEncoder", "TagLayout", "WildcardRule"]
+
+Link = Tuple[int, int]
+
+
+def _canonical(link: Link) -> Link:
+    return link if link[0] <= link[1] else (link[1], link[0])
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Bit budget and thresholds of the encoding (paper defaults)."""
+
+    total_bits: int = 48
+    path_bits: int = 18
+    max_path_depth: int = 5
+    backup_depth: int = 4
+    prefix_threshold: int = 1500
+
+    def __post_init__(self) -> None:
+        if self.total_bits <= 0:
+            raise ValueError("total_bits must be positive")
+        if not 0 < self.path_bits < self.total_bits:
+            raise ValueError("path_bits must be positive and below total_bits")
+        if self.max_path_depth < 1:
+            raise ValueError("max_path_depth must be at least 1")
+        if self.backup_depth < 1:
+            raise ValueError("backup_depth must be at least 1")
+        if self.prefix_threshold < 0:
+            raise ValueError("prefix_threshold must be non-negative")
+
+    @property
+    def nexthop_bits(self) -> int:
+        """Bits left for part 2 (primary + backups)."""
+        return self.total_bits - self.path_bits
+
+    @property
+    def nexthop_groups(self) -> int:
+        """Number of next-hop groups: one primary plus one per protected depth."""
+        return 1 + self.backup_depth
+
+    @property
+    def bits_per_nexthop(self) -> int:
+        """Bits per next-hop group (identifier 0 is reserved for "none")."""
+        return self.nexthop_bits // self.nexthop_groups
+
+    @property
+    def max_next_hops(self) -> int:
+        """How many distinct next-hops each group can name (0 is reserved)."""
+        return (1 << self.bits_per_nexthop) - 1
+
+
+@dataclass(frozen=True)
+class WildcardRule:
+    """A ternary match on the tag: ``(tag & mask) == value``."""
+
+    value: int
+    mask: int
+    next_hop: int
+    description: str = ""
+
+    def matches(self, tag: int) -> bool:
+        """Whether a concrete tag matches this rule."""
+        return (tag & self.mask) == self.value
+
+
+@dataclass
+class TagLayout:
+    """Where each bit group lives inside the tag.
+
+    Groups are described as ``(shift, width)`` pairs: the group's value is
+    ``(tag >> shift) & ((1 << width) - 1)``.  Part 1 occupies the high bits
+    (position 1 first), part 2 the low bits (primary group first, then backup
+    groups by increasing depth).
+    """
+
+    total_bits: int
+    position_groups: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    primary_group: Tuple[int, int] = (0, 0)
+    backup_groups: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    def extract(self, tag: int, shift: int, width: int) -> int:
+        """Extract a group's value from a concrete tag."""
+        return (tag >> shift) & ((1 << width) - 1)
+
+
+@dataclass
+class EncodedTags:
+    """The result of running the encoder over a RIB snapshot."""
+
+    config: EncoderConfig
+    layout: TagLayout
+    tags: Dict[Prefix, int]
+    link_ids: Dict[int, Dict[Link, int]]
+    next_hop_ids: Dict[int, int]
+    encoded_prefix_count: int
+    skipped_links: List[Tuple[Link, int, int]] = field(default_factory=list)
+
+    @property
+    def encoded_links(self) -> FrozenSet[Tuple[Link, int]]:
+        """Every (link, position) pair that received an identifier."""
+        pairs: Set[Tuple[Link, int]] = set()
+        for position, mapping in self.link_ids.items():
+            for link in mapping:
+                pairs.add((link, position))
+        return frozenset(pairs)
+
+    def is_encoded(self, link: Link, position: int) -> bool:
+        """Whether ``link`` at ``position`` can be matched by a tag rule."""
+        return _canonical(link) in self.link_ids.get(position, {})
+
+    def tag_of(self, prefix: Prefix) -> Optional[int]:
+        """The tag assigned to ``prefix`` (None when the prefix has no tag)."""
+        return self.tags.get(prefix)
+
+
+class TagEncoder:
+    """Builds SWIFT tags from a RIB snapshot and a backup table."""
+
+    def __init__(self, config: Optional[EncoderConfig] = None) -> None:
+        self.config = config or EncoderConfig()
+
+    # -- public API ----------------------------------------------------------
+
+    def encode(
+        self,
+        best_paths: Mapping[Prefix, ASPath],
+        backups: Optional[Mapping[Prefix, Mapping[Link, BackupSelection]]] = None,
+        neighbors: Optional[Sequence[int]] = None,
+    ) -> EncodedTags:
+        """Compute the tag of every prefix.
+
+        Parameters
+        ----------
+        best_paths:
+            The Loc-RIB: prefix -> best AS path (neighbor first, origin last).
+        backups:
+            Optional backup table (prefix -> protected link -> selection),
+            typically produced by :class:`repro.core.backup.BackupComputer`.
+            When omitted, part 2 only carries the primary next-hop.
+        neighbors:
+            Optional explicit next-hop universe; defaults to every next-hop
+            seen in ``best_paths`` and ``backups``.
+        """
+        config = self.config
+        backups = backups or {}
+
+        link_loads = self._link_loads(best_paths)
+        link_ids = self._allocate_link_ids(link_loads)
+        layout = self._build_layout(link_ids)
+        next_hop_ids = self._allocate_next_hop_ids(best_paths, backups, neighbors)
+
+        tags: Dict[Prefix, int] = {}
+        encoded_count = 0
+        for prefix, path in best_paths.items():
+            tag, fully_encoded = self._tag_for(
+                prefix, path, backups.get(prefix, {}), link_ids, next_hop_ids, layout
+            )
+            tags[prefix] = tag
+            if fully_encoded:
+                encoded_count += 1
+
+        skipped = [
+            (link, position, load)
+            for (link, position), load in sorted(
+                link_loads.items(), key=lambda item: -item[1]
+            )
+            if link not in link_ids.get(position, {})
+            and load >= config.prefix_threshold
+        ]
+        return EncodedTags(
+            config=config,
+            layout=layout,
+            tags=tags,
+            link_ids=link_ids,
+            next_hop_ids=next_hop_ids,
+            encoded_prefix_count=encoded_count,
+            skipped_links=skipped,
+        )
+
+    def reroute_rules(
+        self,
+        encoded: EncodedTags,
+        link: Link,
+        backups_by_next_hop: Mapping[int, int],
+    ) -> List[WildcardRule]:
+        """Wildcard rules rerouting all traffic crossing ``link``.
+
+        ``backups_by_next_hop`` maps backup next-hop AS -> number of prefixes
+        expected to move there (only used for rule descriptions).  One rule is
+        emitted per (position where the link is encoded, backup next-hop), as
+        in §6.5.
+        """
+        link = _canonical(link)
+        rules: List[WildcardRule] = []
+        for position, mapping in sorted(encoded.link_ids.items()):
+            identifier = mapping.get(link)
+            if identifier is None:
+                continue
+            shift, width = encoded.layout.position_groups[position]
+            depth = min(position, self.config.backup_depth)
+            backup_shift, backup_width = encoded.layout.backup_groups[depth]
+            for next_hop, count in sorted(backups_by_next_hop.items()):
+                next_hop_id = encoded.next_hop_ids.get(next_hop)
+                if next_hop_id is None:
+                    continue
+                value = (identifier << shift) | (next_hop_id << backup_shift)
+                mask = (((1 << width) - 1) << shift) | (
+                    ((1 << backup_width) - 1) << backup_shift
+                )
+                rules.append(
+                    WildcardRule(
+                        value=value,
+                        mask=mask,
+                        next_hop=next_hop,
+                        description=(
+                            f"link {link} at position {position} -> AS {next_hop}"
+                            f" ({count} prefixes)"
+                        ),
+                    )
+                )
+        return rules
+
+    def coverage(
+        self,
+        encoded: EncodedTags,
+        best_paths: Mapping[Prefix, ASPath],
+        prefixes: Iterable[Prefix],
+        links: Iterable[Link],
+    ) -> float:
+        """Fraction of ``prefixes`` reroutable by tag rules for ``links``.
+
+        This is the paper's *encoding performance* (Fig. 7): among the
+        prefixes predicted by the inference, how many cross one of the
+        inferred links at an encoded position.
+        """
+        wanted = {_canonical(link) for link in links}
+        prefixes = list(prefixes)
+        if not prefixes:
+            return 1.0
+        covered = 0
+        for prefix in prefixes:
+            path = best_paths.get(prefix)
+            if path is None:
+                continue
+            for link, position in path.links_with_positions():
+                if link in wanted and encoded.is_encoded(link, position):
+                    covered += 1
+                    break
+        return covered / len(prefixes)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _link_loads(
+        self, best_paths: Mapping[Prefix, ASPath]
+    ) -> Dict[Tuple[Link, int], int]:
+        """Number of prefixes crossing each (link, position) pair."""
+        loads: Dict[Tuple[Link, int], int] = {}
+        for path in best_paths.values():
+            for link, position in path.links_with_positions():
+                if position > self.config.max_path_depth:
+                    break
+                key = (link, position)
+                loads[key] = loads.get(key, 0) + 1
+        return loads
+
+    def _allocate_link_ids(
+        self, link_loads: Mapping[Tuple[Link, int], int]
+    ) -> Dict[int, Dict[Link, int]]:
+        """Greedy identifier allocation under the part-1 bit budget.
+
+        Links are considered heaviest first; a link is accepted if, after
+        (possibly) widening its position's bit group to fit one more
+        identifier, the total width of all groups still fits ``path_bits``.
+        Identifier 0 of every group is reserved to mean "nothing encoded".
+        """
+        config = self.config
+        eligible = sorted(
+            (
+                (load, link, position)
+                for (link, position), load in link_loads.items()
+                if load >= config.prefix_threshold
+            ),
+            key=lambda item: (-item[0], item[2], item[1]),
+        )
+        counts: Dict[int, int] = {}
+        accepted: Dict[int, Dict[Link, int]] = {}
+
+        def total_width(position_counts: Mapping[int, int]) -> int:
+            return sum(
+                _bits_needed(count + 1) for count in position_counts.values()
+            )
+
+        for load, link, position in eligible:
+            trial = dict(counts)
+            trial[position] = trial.get(position, 0) + 1
+            if total_width(trial) > config.path_bits:
+                continue
+            counts = trial
+            accepted.setdefault(position, {})[link] = counts[position]
+        return accepted
+
+    def _build_layout(self, link_ids: Mapping[int, Mapping[Link, int]]) -> TagLayout:
+        config = self.config
+        layout = TagLayout(total_bits=config.total_bits)
+        # Part 1: position groups, packed from the top of the tag downwards.
+        cursor = config.total_bits
+        for position in sorted(link_ids):
+            width = _bits_needed(len(link_ids[position]) + 1)
+            cursor -= width
+            layout.position_groups[position] = (cursor, width)
+        # Part 2: primary group then backup groups, packed from bit 0 upwards.
+        width = config.bits_per_nexthop
+        layout.primary_group = (0, width)
+        for depth in range(1, config.backup_depth + 1):
+            layout.backup_groups[depth] = (depth * width, width)
+        return layout
+
+    def _allocate_next_hop_ids(
+        self,
+        best_paths: Mapping[Prefix, ASPath],
+        backups: Mapping[Prefix, Mapping[Link, BackupSelection]],
+        neighbors: Optional[Sequence[int]],
+    ) -> Dict[int, int]:
+        """Assign identifiers (1..max) to next-hop neighbors, busiest first."""
+        counts: Dict[int, int] = {}
+        if neighbors:
+            for neighbor in neighbors:
+                counts[neighbor] = counts.get(neighbor, 0)
+        for path in best_paths.values():
+            first = path.first_hop
+            if first is not None:
+                counts[first] = counts.get(first, 0) + 1
+        for per_link in backups.values():
+            for selection in per_link.values():
+                counts[selection.next_hop] = counts.get(selection.next_hop, 0) + 1
+        ordered = sorted(counts, key=lambda asn: (-counts[asn], asn))
+        limit = self.config.max_next_hops
+        return {asn: index + 1 for index, asn in enumerate(ordered[:limit])}
+
+    def _tag_for(
+        self,
+        prefix: Prefix,
+        path: ASPath,
+        prefix_backups: Mapping[Link, BackupSelection],
+        link_ids: Mapping[int, Mapping[Link, int]],
+        next_hop_ids: Mapping[int, int],
+        layout: TagLayout,
+    ) -> Tuple[int, bool]:
+        config = self.config
+        tag = 0
+        fully_encoded = True
+
+        # Part 1: the link identifier of every encoded position of the path.
+        for link, position in path.links_with_positions():
+            if position > config.max_path_depth:
+                break
+            group = layout.position_groups.get(position)
+            if group is None:
+                fully_encoded = False
+                continue
+            identifier = link_ids.get(position, {}).get(link)
+            if identifier is None:
+                fully_encoded = False
+                continue
+            shift, _ = group
+            tag |= identifier << shift
+
+        # Part 2: primary next-hop and per-depth backup next-hops.
+        primary = path.first_hop
+        if primary is not None:
+            primary_id = next_hop_ids.get(primary)
+            if primary_id is not None:
+                shift, _ = layout.primary_group
+                tag |= primary_id << shift
+            else:
+                fully_encoded = False
+
+        by_depth = self._backups_by_depth(path, prefix_backups)
+        for depth, selection in by_depth.items():
+            if depth > config.backup_depth:
+                continue
+            group = layout.backup_groups.get(depth)
+            if group is None:
+                continue
+            backup_id = next_hop_ids.get(selection.next_hop)
+            if backup_id is None:
+                fully_encoded = False
+                continue
+            shift, _ = group
+            tag |= backup_id << shift
+        return tag, fully_encoded
+
+    def _backups_by_depth(
+        self, path: ASPath, prefix_backups: Mapping[Link, BackupSelection]
+    ) -> Dict[int, BackupSelection]:
+        """Map protected depth -> backup, from the per-link backup table.
+
+        Depth 1 protects the first link of the path (router <-> neighbor or
+        neighbor <-> next AS); deeper depths protect links farther along the
+        path.  The backup table is keyed by link, so we look the path's links
+        up in order.
+        """
+        result: Dict[int, BackupSelection] = {}
+        links = path.links_with_positions()
+        for link, position in links:
+            selection = prefix_backups.get(_canonical(link))
+            if selection is not None and position not in result:
+                result[position] = selection
+        # The depth-1 slot may also protect the (local, neighbor) session link
+        # when the backup table contains it (its position is 1 as well).
+        for link, selection in prefix_backups.items():
+            if path.first_hop is not None and path.first_hop in link:
+                result.setdefault(1, selection)
+        return result
+
+
+def _bits_needed(distinct_values: int) -> int:
+    """Bits needed to represent ``distinct_values`` distinct values."""
+    if distinct_values <= 1:
+        return 0
+    return math.ceil(math.log2(distinct_values))

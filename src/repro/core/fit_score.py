@@ -1,0 +1,312 @@
+"""Withdrawal Share, Path Share and the Fit Score (§4.1, §4.2).
+
+For a link ``l`` at time ``t``:
+
+* ``W(l, t)`` — number of prefixes whose (pre-burst) path includes ``l`` and
+  that have been withdrawn by ``t``;
+* ``W(t)`` — total number of withdrawals received by ``t``;
+* ``P(l, t)`` — number of prefixes whose path *still* traverses ``l`` at ``t``
+  (i.e. not withdrawn nor re-routed away from ``l``);
+* ``WS(l, t) = W(l, t) / W(t)`` — Withdrawal Share;
+* ``PS(l, t) = W(l, t) / (W(l, t) + P(l, t))`` — Path Share;
+* ``FS(l, t) = (WS^wWS * PS^wPS)^(1/(wWS + wPS))`` — weighted geometric mean.
+
+The paper calibrates ``wWS = 3 * wPS`` (§4.2).  For sets of links sharing an
+endpoint (concurrent failures), WS and PS generalise by summing the
+individual ``W(l, t)`` and ``P(l, t)`` terms (§4.2).
+
+:class:`FitScoreCalculator` maintains these quantities incrementally as
+withdrawals and updates are fed in, so that computing the scores at any point
+of the burst costs O(number of tracked links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bgp.attributes import ASPath
+from repro.bgp.prefix import Prefix
+
+__all__ = ["FitScoreCalculator", "FitScoreConfig", "LinkScore"]
+
+Link = Tuple[int, int]
+
+
+def _canonical(link: Link) -> Link:
+    """Canonical (sorted-endpoint) form of an AS link."""
+    return link if link[0] <= link[1] else (link[1], link[0])
+
+
+@dataclass(frozen=True)
+class FitScoreConfig:
+    """Weights of the Fit Score geometric mean.
+
+    The paper's calibration sets the Withdrawal Share weight three times
+    higher than the Path Share weight (§4.2): early in a burst many affected
+    prefixes have not been withdrawn yet, which depresses PS for the failed
+    link, while its WS is maximal from the start.
+    """
+
+    ws_weight: float = 3.0
+    ps_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ws_weight <= 0 or self.ps_weight <= 0:
+            raise ValueError("fit-score weights must be positive")
+
+
+@dataclass(frozen=True)
+class LinkScore:
+    """The metrics of one link (or one set of aggregated links) at a time t."""
+
+    links: Tuple[Link, ...]
+    withdrawal_share: float
+    path_share: float
+    fit_score: float
+    withdrawn_count: int
+    still_routed_count: int
+
+    @property
+    def link(self) -> Link:
+        """The single link when the score refers to exactly one link."""
+        if len(self.links) != 1:
+            raise ValueError("score aggregates several links")
+        return self.links[0]
+
+
+class FitScoreCalculator:
+    """Incrementally maintains W(l, t), P(l, t) and the derived scores.
+
+    Parameters
+    ----------
+    rib:
+        The pre-burst Adj-RIB-In of the session: prefix -> AS path.  Paths
+        must include the peer AS as first hop; the link between the SWIFTED
+        router and the peer itself is not part of the path and therefore not
+        scored (its failure would be a *local* failure, handled by existing
+        fast-reroute techniques, not by SWIFT).
+    config:
+        Fit-score weights.
+    local_as:
+        Optional AS number of the local router; when provided, the implicit
+        first link (local_as, peer_as) is also tracked, matching the paper's
+        Fig. 4 which scores link (1, 2).
+    peer_as:
+        The peer AS of the session (needed only when ``local_as`` is given).
+    """
+
+    def __init__(
+        self,
+        rib: Mapping[Prefix, ASPath],
+        config: Optional[FitScoreConfig] = None,
+        local_as: Optional[int] = None,
+        peer_as: Optional[int] = None,
+    ) -> None:
+        self.config = config or FitScoreConfig()
+        self._local_prefix_link: Optional[Link] = None
+        if local_as is not None and peer_as is not None:
+            self._local_prefix_link = _canonical((local_as, peer_as))
+
+        # Static view of the pre-burst paths.
+        self._links_of_prefix: Dict[Prefix, Tuple[Link, ...]] = {}
+        # Current counters.
+        self._withdrawn_for_link: Dict[Link, int] = {}
+        self._routed_for_link: Dict[Link, int] = {}
+        self._withdrawn_prefixes: Set[Prefix] = set()
+        self._total_withdrawals = 0
+
+        for prefix, path in rib.items():
+            links = self._links_for_path(path)
+            if not links:
+                continue
+            self._links_of_prefix[prefix] = links
+            for link in links:
+                self._routed_for_link[link] = self._routed_for_link.get(link, 0) + 1
+
+    # -- feeding the stream ----------------------------------------------------
+
+    def record_withdrawal(self, prefix: Prefix) -> None:
+        """Account for the withdrawal of ``prefix``.
+
+        Withdrawals of prefixes unknown to the pre-burst RIB (noise, or
+        prefixes announced after the snapshot) still increase the total
+        withdrawal count ``W(t)`` — they dilute every WS equally, which is
+        exactly how unrelated noise degrades the metric in the paper.
+        Duplicate withdrawals of the same prefix are counted once.
+        """
+        if prefix in self._withdrawn_prefixes:
+            return
+        self._withdrawn_prefixes.add(prefix)
+        self._total_withdrawals += 1
+        links = self._links_of_prefix.get(prefix)
+        if not links:
+            return
+        for link in links:
+            self._withdrawn_for_link[link] = self._withdrawn_for_link.get(link, 0) + 1
+            self._routed_for_link[link] = max(0, self._routed_for_link.get(link, 0) - 1)
+
+    def record_update(self, prefix: Prefix, new_path: ASPath) -> None:
+        """Account for a path update (implicit withdrawal of the old path).
+
+        The prefix stops counting towards ``P(l, t)`` for the links of its old
+        path and starts counting for the links of its new path.  If the prefix
+        had been withdrawn earlier in the burst, the re-announcement clears
+        the withdrawal (it no longer counts in ``W``).
+        """
+        old_links = self._links_of_prefix.get(prefix, ())
+        if prefix in self._withdrawn_prefixes:
+            self._withdrawn_prefixes.discard(prefix)
+            self._total_withdrawals = max(0, self._total_withdrawals - 1)
+            for link in old_links:
+                self._withdrawn_for_link[link] = max(
+                    0, self._withdrawn_for_link.get(link, 0) - 1
+                )
+        else:
+            for link in old_links:
+                self._routed_for_link[link] = max(0, self._routed_for_link.get(link, 0) - 1)
+        new_links = self._links_for_path(new_path)
+        self._links_of_prefix[prefix] = new_links
+        for link in new_links:
+            self._routed_for_link[link] = self._routed_for_link.get(link, 0) + 1
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def total_withdrawals(self) -> int:
+        """``W(t)``: withdrawals received so far (deduplicated)."""
+        return self._total_withdrawals
+
+    @property
+    def withdrawn_prefixes(self) -> FrozenSet[Prefix]:
+        """The set of currently-withdrawn prefixes."""
+        return frozenset(self._withdrawn_prefixes)
+
+    def tracked_links(self) -> List[Link]:
+        """Every link appearing in at least one known path."""
+        links: Set[Link] = set(self._routed_for_link) | set(self._withdrawn_for_link)
+        return sorted(links)
+
+    def withdrawal_count(self, link: Link) -> int:
+        """``W(l, t)`` for one link."""
+        return self._withdrawn_for_link.get(_canonical(link), 0)
+
+    def still_routed_count(self, link: Link) -> int:
+        """``P(l, t)`` for one link."""
+        return self._routed_for_link.get(_canonical(link), 0)
+
+    def withdrawal_share(self, link: Link) -> float:
+        """``WS(l, t)``; 0 when no withdrawal has been received."""
+        if self._total_withdrawals == 0:
+            return 0.0
+        return self.withdrawal_count(link) / self._total_withdrawals
+
+    def path_share(self, link: Link) -> float:
+        """``PS(l, t)``; 0 when the link carries no prefix at all."""
+        withdrawn = self.withdrawal_count(link)
+        routed = self.still_routed_count(link)
+        if withdrawn + routed == 0:
+            return 0.0
+        return withdrawn / (withdrawn + routed)
+
+    def fit_score(self, link: Link) -> float:
+        """``FS(l, t)`` for a single link."""
+        return self._combine(self.withdrawal_share(link), self.path_share(link))
+
+    def score(self, link: Link) -> LinkScore:
+        """All the metrics of a single link."""
+        canonical = _canonical(link)
+        ws = self.withdrawal_share(canonical)
+        ps = self.path_share(canonical)
+        return LinkScore(
+            links=(canonical,),
+            withdrawal_share=ws,
+            path_share=ps,
+            fit_score=self._combine(ws, ps),
+            withdrawn_count=self.withdrawal_count(canonical),
+            still_routed_count=self.still_routed_count(canonical),
+        )
+
+    def score_set(self, links: Sequence[Link]) -> LinkScore:
+        """Metrics of a set of links, per the multi-link extension of §4.2.
+
+        ``WS(S, t) = sum_l W(l, t) / W(t)`` and
+        ``PS(S, t) = sum_l W(l, t) / sum_l (W(l, t) + P(l, t))``.
+
+        The withdrawal share is capped at 1.0: when aggregated links overlap
+        (they are crossed by the same prefixes, e.g. consecutive links of one
+        path) the plain sum double-counts withdrawals, which would make any
+        serial aggregation look better than the failed link itself.  Capping
+        keeps the metric a share and preserves the intended behaviour for the
+        genuinely parallel links of a router failure (disjoint prefix sets).
+        """
+        canonical = tuple(sorted({_canonical(link) for link in links}))
+        withdrawn = sum(self.withdrawal_count(link) for link in canonical)
+        routed = sum(self.still_routed_count(link) for link in canonical)
+        ws = (
+            min(1.0, withdrawn / self._total_withdrawals)
+            if self._total_withdrawals
+            else 0.0
+        )
+        ps = withdrawn / (withdrawn + routed) if (withdrawn + routed) else 0.0
+        return LinkScore(
+            links=canonical,
+            withdrawal_share=ws,
+            path_share=ps,
+            fit_score=self._combine(ws, ps),
+            withdrawn_count=withdrawn,
+            still_routed_count=routed,
+        )
+
+    def all_scores(self, min_withdrawn: int = 1) -> List[LinkScore]:
+        """Scores of every link with at least ``min_withdrawn`` withdrawals.
+
+        Sorted by decreasing fit score (ties broken by link endpoints for
+        determinism).  Links with no withdrawn prefix cannot be the failure
+        and are skipped, which keeps the inference cost proportional to the
+        burst's footprint rather than to the RIB size.
+        """
+        scores = [
+            self.score(link)
+            for link, withdrawn in self._withdrawn_for_link.items()
+            if withdrawn >= min_withdrawn
+        ]
+        scores.sort(key=lambda item: (-item.fit_score, item.links))
+        return scores
+
+    def prefixes_via_links(self, links: Iterable[Link]) -> FrozenSet[Prefix]:
+        """Prefixes whose *current* path traverses any of ``links``.
+
+        This is the set SWIFT reroutes when those links are inferred as
+        failed; it includes both already-withdrawn and not-yet-withdrawn
+        prefixes whose pre-burst path crossed the links.
+        """
+        wanted = {_canonical(link) for link in links}
+        result: Set[Prefix] = set()
+        for prefix, prefix_links in self._links_of_prefix.items():
+            for link in prefix_links:
+                if link in wanted:
+                    result.add(prefix)
+                    break
+        return frozenset(result)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _links_for_path(self, path: ASPath) -> Tuple[Link, ...]:
+        links = [ _canonical(link) for link in path.links() ]
+        if self._local_prefix_link is not None and len(path) >= 1:
+            links.insert(0, self._local_prefix_link)
+        # Deduplicate while keeping order (paths with prepending repeat links).
+        seen: Set[Link] = set()
+        unique: List[Link] = []
+        for link in links:
+            if link not in seen:
+                seen.add(link)
+                unique.append(link)
+        return tuple(unique)
+
+    def _combine(self, ws: float, ps: float) -> float:
+        if ws <= 0.0 or ps <= 0.0:
+            return 0.0
+        w_ws, w_ps = self.config.ws_weight, self.config.ps_weight
+        return (ws ** w_ws * ps ** w_ps) ** (1.0 / (w_ws + w_ps))

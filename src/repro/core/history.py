@@ -1,0 +1,188 @@
+"""Historical burst model and adaptive triggering thresholds (§4.2).
+
+SWIFT trades a little speed for accuracy: it launches a first inference after
+a *triggering threshold* of withdrawals (2,500 by default) and accepts the
+inference only if predicting that many prefixes is plausible given the bursts
+seen in the past.  Concretely (§4.2):
+
+* after 2.5k received withdrawals, accept if the prediction is < 10k prefixes;
+* after 5k, accept if < 20k;
+* after 7.5k, accept if < 50k;
+* after 10k, accept if < 100k;
+* after 20k, accept unconditionally.
+
+:class:`TriggeringSchedule` encodes that step function (and lets ablations
+swap in other schedules).  :class:`HistoryModel` additionally records the
+sizes of past bursts so a deployment can re-derive a schedule from its own
+history — "SWIFT evaluates the likelihood that its inferences are realistic
+(e.g., using historical data)" (§3.1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["HistoryModel", "TriggeringSchedule"]
+
+
+@dataclass(frozen=True)
+class TriggeringSchedule:
+    """The adaptive acceptance schedule of §4.2.
+
+    ``steps`` maps a number of received withdrawals to the maximum number of
+    predicted prefixes acceptable at that point; ``unconditional_after`` is
+    the withdrawal count after which the inference is always accepted.
+    """
+
+    steps: Tuple[Tuple[int, int], ...] = (
+        (2500, 10000),
+        (5000, 20000),
+        (7500, 50000),
+        (10000, 100000),
+    )
+    unconditional_after: int = 20000
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("schedule needs at least one step")
+        previous_received = 0
+        for received, limit in self.steps:
+            if received <= previous_received:
+                raise ValueError("steps must have increasing withdrawal counts")
+            if limit <= 0:
+                raise ValueError("prediction limits must be positive")
+            previous_received = received
+        if self.unconditional_after < self.steps[-1][0]:
+            raise ValueError(
+                "unconditional_after must not precede the last schedule step"
+            )
+
+    @property
+    def first_trigger(self) -> int:
+        """The triggering threshold: withdrawals needed for the first inference."""
+        return self.steps[0][0]
+
+    def next_trigger_after(self, received: int) -> Optional[int]:
+        """The next withdrawal count at which an inference should run.
+
+        Returns ``None`` once ``received`` is at or past the unconditional
+        threshold (the last possible trigger).
+        """
+        for step_received, _ in self.steps:
+            if received < step_received:
+                return step_received
+        if received < self.unconditional_after:
+            return self.unconditional_after
+        return None
+
+    def accepts(self, received: int, predicted: int) -> bool:
+        """Whether an inference made after ``received`` withdrawals is accepted.
+
+        ``predicted`` is the number of prefixes the inference would reroute.
+        Below the first trigger no inference is accepted at all; past the
+        unconditional threshold every inference is accepted.
+        """
+        if received >= self.unconditional_after:
+            return True
+        applicable: Optional[int] = None
+        for step_received, limit in self.steps:
+            if received >= step_received:
+                applicable = limit
+        if applicable is None:
+            return False
+        return predicted < applicable
+
+    @classmethod
+    def permissive(cls) -> "TriggeringSchedule":
+        """A schedule that accepts any inference at the first trigger.
+
+        This is the "without history" mode of Fig. 6(a): a single inference
+        after 2.5k withdrawals, accepted whatever its size.
+        """
+        return cls(steps=((2500, 10 ** 9),), unconditional_after=2500)
+
+
+class HistoryModel:
+    """Burst-size history of one session.
+
+    Stores the sizes of past bursts and answers plausibility queries: the
+    empirical probability of seeing a burst at least as large as a candidate
+    prediction.  :meth:`derive_schedule` converts the history into a
+    :class:`TriggeringSchedule` (the shipped default mirrors the paper's
+    hand-tuned schedule, which was itself derived from one month of real
+    bursts).
+    """
+
+    def __init__(self, burst_sizes: Optional[Sequence[int]] = None) -> None:
+        self._sizes: List[int] = sorted(burst_sizes) if burst_sizes else []
+
+    # -- maintenance ---------------------------------------------------------
+
+    def record_burst(self, size: int) -> None:
+        """Add one observed burst size to the history."""
+        if size < 0:
+            raise ValueError("burst size must be non-negative")
+        bisect.insort(self._sizes, size)
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    @property
+    def sizes(self) -> List[int]:
+        """The recorded burst sizes, sorted ascending."""
+        return list(self._sizes)
+
+    # -- queries -------------------------------------------------------------
+
+    def probability_at_least(self, size: int) -> float:
+        """Empirical probability that a burst reaches ``size`` withdrawals.
+
+        Returns 1.0 when the history is empty (no evidence against any size),
+        which makes an un-trained SWIFT behave like the history-less variant.
+        """
+        if not self._sizes:
+            return 1.0
+        index = bisect.bisect_left(self._sizes, size)
+        return (len(self._sizes) - index) / len(self._sizes)
+
+    def percentile(self, fraction: float) -> int:
+        """Burst size at the given fraction (0..1) of the history."""
+        if not self._sizes:
+            return 0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        index = min(len(self._sizes) - 1, int(fraction * (len(self._sizes) - 1)))
+        return self._sizes[index]
+
+    def is_plausible(self, predicted: int, minimum_probability: float = 0.05) -> bool:
+        """Whether a prediction of ``predicted`` prefixes is historically plausible."""
+        return self.probability_at_least(predicted) >= minimum_probability
+
+    def derive_schedule(
+        self,
+        triggers: Sequence[int] = (2500, 5000, 7500, 10000),
+        unconditional_after: int = 20000,
+        minimum_probability: float = 0.05,
+    ) -> TriggeringSchedule:
+        """Build a triggering schedule from the recorded history.
+
+        For each trigger point the acceptance limit is the burst size whose
+        empirical exceedance probability drops below ``minimum_probability``,
+        scaled up with the trigger (later triggers tolerate larger
+        predictions).  Falls back to the paper's default schedule when the
+        history is empty.
+        """
+        if not self._sizes:
+            return TriggeringSchedule()
+        base_limit = max(
+            self.percentile(1.0 - minimum_probability), triggers[0] * 2
+        )
+        steps: List[Tuple[int, int]] = []
+        for index, trigger in enumerate(sorted(triggers)):
+            scale = 2 ** index
+            steps.append((trigger, max(base_limit * scale, trigger * 2)))
+        return TriggeringSchedule(
+            steps=tuple(steps), unconditional_after=unconditional_after
+        )

@@ -1,0 +1,409 @@
+"""The SWIFT inference engine (§4).
+
+The engine consumes the BGP message stream of one peering session.  It
+maintains a :class:`~repro.core.burst_detection.BurstDetector` and, while a
+burst is in progress, a :class:`~repro.core.fit_score.FitScoreCalculator`
+seeded with the pre-burst Adj-RIB-In.  At every triggering threshold it:
+
+1. scores every candidate link and greedily aggregates links sharing an
+   endpoint while the aggregate fit score does not decrease (§4.2,
+   "SWIFT can infer concurrent link failures");
+2. keeps every candidate (single link or aggregate) whose fit score equals
+   the maximum — the conservative tie handling of §4.2;
+3. predicts the affected prefixes as *all* prefixes whose current path
+   traverses any inferred link (§3.1, conservative prediction);
+4. checks the prediction against the history model / triggering schedule and
+   either emits the inference or waits for the next threshold (§4.2).
+
+The engine is deliberately independent from the data-plane machinery so it
+can be evaluated on traces (as in §6) without a router attached.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bgp.attributes import ASPath
+from repro.bgp.messages import BGPMessage, Update
+from repro.bgp.prefix import Prefix
+from repro.core.burst_detection import BurstDetector, BurstDetectorConfig
+from repro.core.fit_score import FitScoreCalculator, FitScoreConfig, LinkScore
+from repro.core.history import HistoryModel, TriggeringSchedule
+
+__all__ = [
+    "InferenceConfig",
+    "InferenceEngine",
+    "InferenceResult",
+    "PrefixPrediction",
+]
+
+Link = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class InferenceConfig:
+    """All the knobs of the inference algorithm (paper defaults)."""
+
+    fit_score: FitScoreConfig = field(default_factory=FitScoreConfig)
+    detector: BurstDetectorConfig = field(default_factory=BurstDetectorConfig)
+    schedule: TriggeringSchedule = field(default_factory=TriggeringSchedule)
+    use_history: bool = True
+    max_aggregation_rounds: int = 8
+    score_tolerance: float = 1e-9
+
+    @classmethod
+    def without_history(cls) -> "InferenceConfig":
+        """The history-less variant evaluated in Fig. 6(a)."""
+        return cls(schedule=TriggeringSchedule.permissive(), use_history=False)
+
+
+@dataclass(frozen=True)
+class PrefixPrediction:
+    """The set of prefixes SWIFT would reroute after an inference."""
+
+    predicted_prefixes: FrozenSet[Prefix]
+    already_withdrawn: FrozenSet[Prefix]
+
+    @property
+    def future_prefixes(self) -> FrozenSet[Prefix]:
+        """Predicted prefixes that have *not* been withdrawn yet.
+
+        This is the set §6.3 scores with the Correctly Predicted Rate: the
+        value of SWIFT lies in rerouting prefixes before their withdrawals
+        arrive.
+        """
+        return self.predicted_prefixes - self.already_withdrawn
+
+    @property
+    def size(self) -> int:
+        """Total number of predicted prefixes."""
+        return len(self.predicted_prefixes)
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """One (accepted or rejected) inference."""
+
+    timestamp: float
+    withdrawals_seen: int
+    inferred_links: Tuple[Link, ...]
+    scores: Tuple[LinkScore, ...]
+    prediction: PrefixPrediction
+    accepted: bool
+    burst_start: float
+
+    @property
+    def inference_delay(self) -> float:
+        """Seconds elapsed between the burst start and this inference."""
+        return max(0.0, self.timestamp - self.burst_start)
+
+    @property
+    def shared_endpoints(self) -> FrozenSet[int]:
+        """AS numbers appearing in every inferred link (aggregation endpoints)."""
+        if not self.inferred_links:
+            return frozenset()
+        common: Set[int] = set(self.inferred_links[0])
+        for link in self.inferred_links[1:]:
+            common &= set(link)
+        return frozenset(common)
+
+    @property
+    def all_endpoints(self) -> FrozenSet[int]:
+        """Every AS appearing as an endpoint of an inferred link."""
+        endpoints: Set[int] = set()
+        for a, b in self.inferred_links:
+            endpoints.add(a)
+            endpoints.add(b)
+        return frozenset(endpoints)
+
+
+class InferenceEngine:
+    """Per-session SWIFT inference.
+
+    Parameters
+    ----------
+    rib:
+        Pre-burst Adj-RIB-In snapshot (prefix -> AS path) of the session.
+    config:
+        Inference configuration; defaults to the paper's settings.
+    history:
+        Optional burst-size history used for plausibility checks; when absent
+        the static triggering schedule alone gates acceptance.
+    local_as / peer_as:
+        When provided, the implicit first AS link between the local router
+        and the session peer is also considered by the scoring.
+    """
+
+    def __init__(
+        self,
+        rib: Mapping[Prefix, ASPath],
+        config: Optional[InferenceConfig] = None,
+        history: Optional[HistoryModel] = None,
+        local_as: Optional[int] = None,
+        peer_as: Optional[int] = None,
+    ) -> None:
+        self.config = config or InferenceConfig()
+        self.history = history
+        self._rib = dict(rib)
+        self._local_as = local_as
+        self._peer_as = peer_as
+        self.detector = BurstDetector(self.config.detector)
+        self._calculator: Optional[FitScoreCalculator] = None
+        self._burst_start: Optional[float] = None
+        self._withdrawals_in_burst = 0
+        self._next_trigger: Optional[int] = self.config.schedule.first_trigger
+        self.results: List[InferenceResult] = []
+        self._accepted_result: Optional[InferenceResult] = None
+        self._listeners: List[Callable[[InferenceResult], None]] = []
+        # Withdrawals received in the last detection window while quiet; they
+        # belong to the burst once detection fires and are replayed then.
+        self._recent_withdrawals: Deque[Tuple[float, Prefix]] = deque()
+
+    # -- wiring -------------------------------------------------------------
+
+    def add_listener(self, callback: Callable[[InferenceResult], None]) -> None:
+        """Register a callback invoked whenever an inference is *accepted*."""
+        self._listeners.append(callback)
+
+    # -- stream consumption ---------------------------------------------------
+
+    def process_message(self, message: BGPMessage) -> Optional[InferenceResult]:
+        """Feed one message; returns an accepted inference if one fires."""
+        if not isinstance(message, Update):
+            return None
+        accepted: Optional[InferenceResult] = None
+
+        if message.withdrawals:
+            event = self.detector.observe_withdrawals(
+                message.timestamp, len(message.withdrawals)
+            )
+            if event is not None and event.kind == "start":
+                # The buffered withdrawals of the detection window belong to
+                # the burst; _start_burst replays them into the calculator.
+                self._start_burst(event.timestamp)
+            if self._in_burst:
+                for prefix in message.withdrawals:
+                    self._calculator.record_withdrawal(prefix)
+                    self._withdrawals_in_burst += 1
+                accepted = self._maybe_infer(message.timestamp)
+            else:
+                for prefix in message.withdrawals:
+                    self._recent_withdrawals.append((message.timestamp, prefix))
+                self._expire_recent(message.timestamp)
+        else:
+            event = self.detector.observe_time(message.timestamp)
+            if event is not None and event.kind == "end":
+                self._end_burst(message.timestamp)
+
+        if message.announcements:
+            # Keep the RIB current; during a burst the calculator also follows
+            # the implicit withdrawals carried by path changes.
+            for announcement in message.announcements:
+                if self._in_burst:
+                    self._calculator.record_update(
+                        announcement.prefix, announcement.attributes.as_path
+                    )
+                self._rib[announcement.prefix] = announcement.attributes.as_path
+
+        if (
+            self._in_burst
+            and self.detector.state.value == "quiet"
+        ):
+            self._end_burst(message.timestamp)
+        return accepted
+
+    def process_stream(
+        self, messages: Iterable[BGPMessage]
+    ) -> List[InferenceResult]:
+        """Feed a whole stream; returns every accepted inference."""
+        accepted: List[InferenceResult] = []
+        for message in messages:
+            result = self.process_message(message)
+            if result is not None:
+                accepted.append(result)
+        return accepted
+
+    def force_inference(self, timestamp: float) -> Optional[InferenceResult]:
+        """Run an inference immediately, bypassing the triggering schedule.
+
+        Used by the evaluation to score the algorithm at arbitrary points
+        (e.g. "after 200 withdrawals", §6.2.2) and at the end of a burst.
+        Returns ``None`` when no burst is being tracked.
+        """
+        if not self._in_burst:
+            return None
+        return self._run_inference(timestamp, accept_always=True)
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def _in_burst(self) -> bool:
+        return self._calculator is not None
+
+    @property
+    def accepted_inference(self) -> Optional[InferenceResult]:
+        """The first accepted inference of the current/most recent burst."""
+        return self._accepted_result
+
+    @property
+    def withdrawals_in_current_burst(self) -> int:
+        """Withdrawals counted since the current burst started."""
+        return self._withdrawals_in_burst
+
+    def current_rib(self) -> Dict[Prefix, ASPath]:
+        """The engine's view of the session RIB (pre-burst + later updates)."""
+        return dict(self._rib)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _expire_recent(self, now: float) -> None:
+        """Drop buffered withdrawals older than the detection window.
+
+        Once a buffered withdrawal has aged out without a burst starting it is
+        treated as ordinary churn: the prefix is also removed from the
+        engine's RIB view so future bursts start from an accurate snapshot.
+        """
+        horizon = now - self.config.detector.window_seconds
+        while self._recent_withdrawals and self._recent_withdrawals[0][0] < horizon:
+            _, prefix = self._recent_withdrawals.popleft()
+            self._rib.pop(prefix, None)
+
+    def _start_burst(self, timestamp: float) -> None:
+        self._calculator = FitScoreCalculator(
+            self._rib,
+            config=self.config.fit_score,
+            local_as=self._local_as,
+            peer_as=self._peer_as,
+        )
+        self._burst_start = (
+            self._recent_withdrawals[0][0] if self._recent_withdrawals else timestamp
+        )
+        self._withdrawals_in_burst = 0
+        self._next_trigger = self.config.schedule.first_trigger
+        self._accepted_result = None
+        # Replay the withdrawals of the detection window: they are part of the
+        # burst even though they arrived before the detector fired.
+        while self._recent_withdrawals:
+            _, prefix = self._recent_withdrawals.popleft()
+            self._calculator.record_withdrawal(prefix)
+            self._withdrawals_in_burst += 1
+
+    def _end_burst(self, timestamp: float) -> None:
+        if self.history is not None and self._withdrawals_in_burst > 0:
+            self.history.record_burst(self._withdrawals_in_burst)
+        self._calculator = None
+        self._burst_start = None
+        self._withdrawals_in_burst = 0
+        self._next_trigger = self.config.schedule.first_trigger
+        self._recent_withdrawals.clear()
+
+    def _maybe_infer(self, timestamp: float) -> Optional[InferenceResult]:
+        if self._accepted_result is not None:
+            return None
+        if self._next_trigger is None:
+            return None
+        if self._withdrawals_in_burst < self._next_trigger:
+            return None
+        result = self._run_inference(timestamp, accept_always=False)
+        if result is not None and result.accepted:
+            return result
+        self._next_trigger = self.config.schedule.next_trigger_after(
+            self._withdrawals_in_burst
+        )
+        return None
+
+    def _run_inference(
+        self, timestamp: float, accept_always: bool
+    ) -> Optional[InferenceResult]:
+        assert self._calculator is not None and self._burst_start is not None
+        calculator = self._calculator
+        scores = calculator.all_scores()
+        if not scores:
+            return None
+
+        inferred_links, best_scores = self._aggregate(calculator, scores)
+        predicted = calculator.prefixes_via_links(inferred_links)
+        prediction = PrefixPrediction(
+            predicted_prefixes=predicted,
+            already_withdrawn=calculator.withdrawn_prefixes & predicted,
+        )
+
+        accepted = accept_always or self._accept(prediction)
+        result = InferenceResult(
+            timestamp=timestamp,
+            withdrawals_seen=self._withdrawals_in_burst,
+            inferred_links=tuple(sorted(inferred_links)),
+            scores=tuple(best_scores),
+            prediction=prediction,
+            accepted=accepted,
+            burst_start=self._burst_start,
+        )
+        self.results.append(result)
+        if accepted and self._accepted_result is None:
+            self._accepted_result = result
+            for listener in self._listeners:
+                listener(result)
+        return result
+
+    def _accept(self, prediction: PrefixPrediction) -> bool:
+        received = self._withdrawals_in_burst
+        predicted = prediction.size
+        if not self.config.schedule.accepts(received, predicted):
+            return False
+        if self.config.use_history and self.history is not None and len(self.history):
+            # The schedule already encodes coarse plausibility; the history
+            # adds a session-specific check for outlandish predictions.
+            if predicted > received and not self.history.is_plausible(predicted):
+                return False
+        return True
+
+    def _aggregate(
+        self, calculator: FitScoreCalculator, scores: Sequence[LinkScore]
+    ) -> Tuple[List[Link], List[LinkScore]]:
+        """Greedy aggregation of links sharing an endpoint (§4.2).
+
+        Starting from the best-scoring link, links are merged (best first) as
+        long as they share a common endpoint with the current aggregate and
+        the aggregate fit score *strictly increases* ("until the FS for all
+        the aggregated links does not increase anymore", §4.2).  All
+        candidates (single links or aggregates) whose score ties with the
+        maximum are returned.
+        """
+        best_single = scores[0]
+        tolerance = self.config.score_tolerance
+
+        aggregate_links: List[Link] = [best_single.links[0]]
+        aggregate_score = best_single
+        common_endpoints: Set[int] = set(best_single.links[0])
+        rounds = 0
+        for candidate in scores[1:]:
+            if rounds >= self.config.max_aggregation_rounds:
+                break
+            link = candidate.links[0]
+            shared = common_endpoints & set(link)
+            if not shared:
+                continue
+            trial_links = aggregate_links + [link]
+            trial_score = calculator.score_set(trial_links)
+            if trial_score.fit_score > aggregate_score.fit_score + tolerance:
+                aggregate_links = trial_links
+                aggregate_score = trial_score
+                common_endpoints = shared
+                rounds += 1
+
+        # Conservative tie handling: return every single link whose fit score
+        # ties with the best observed score.
+        best_value = max(aggregate_score.fit_score, best_single.fit_score)
+        tied = [
+            score.links[0]
+            for score in scores
+            if score.fit_score + tolerance >= best_value
+        ]
+        inferred: List[Link] = list(dict.fromkeys(aggregate_links + tied))
+        reported: List[LinkScore] = [aggregate_score] if len(aggregate_links) > 1 else []
+        reported.extend(
+            score for score in scores if score.links[0] in set(inferred)
+        )
+        return inferred, reported

@@ -1,0 +1,316 @@
+"""A SWIFTED border router (§3).
+
+:class:`SwiftedRouter` composes the pieces built elsewhere in this package:
+
+* a :class:`~repro.bgp.speaker.BGPSpeaker` holding the per-peer Adj-RIB-Ins
+  and the Loc-RIB,
+* a :class:`~repro.core.backup.BackupComputer` pre-computing policy-compliant
+  backup next-hops for every prefix and protected link,
+* a :class:`~repro.core.encoding.TagEncoder` producing the two-part tags and
+  the wildcard reroute rules,
+* a :class:`~repro.dataplane.fib.TwoStageForwardingTable` holding the tags
+  (stage 1) and the forwarding rules (stage 2),
+* one :class:`~repro.core.inference.InferenceEngine` per peering session,
+  watching the incoming streams for bursts.
+
+Upon an accepted inference the router installs one high-priority rule per
+(inferred link position, backup next-hop) — rerouting every affected prefix
+at once — and records a :class:`RerouteAction` with the modelled data-plane
+update latency.  When BGP has re-converged (the burst ends), the SWIFT rules
+are withdrawn and forwarding falls back to the BGP-derived state (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bgp.attributes import ASPath
+from repro.bgp.messages import BGPMessage, Update
+from repro.bgp.prefix import Prefix
+from repro.bgp.rib import RibEntry
+from repro.bgp.speaker import BGPSpeaker
+from repro.core.backup import BackupComputer, BackupSelection, ReroutingPolicy
+from repro.core.encoding import EncodedTags, EncoderConfig, TagEncoder, WildcardRule
+from repro.core.history import HistoryModel
+from repro.core.inference import InferenceConfig, InferenceEngine, InferenceResult
+from repro.dataplane.fib import TwoStageForwardingTable
+from repro.dataplane.timing import FibUpdateTimingModel
+
+__all__ = ["RerouteAction", "SwiftConfig", "SwiftedRouter"]
+
+Link = Tuple[int, int]
+
+#: Priority used for the rules SWIFT installs upon an inference; the BGP
+#: default rules sit at priority 0.
+SWIFT_RULE_PRIORITY = 100
+
+
+@dataclass(frozen=True)
+class SwiftConfig:
+    """Configuration of a SWIFTED router."""
+
+    inference: InferenceConfig = field(default_factory=InferenceConfig)
+    encoder: EncoderConfig = field(default_factory=EncoderConfig)
+    policy: ReroutingPolicy = field(default_factory=ReroutingPolicy)
+    timing: FibUpdateTimingModel = field(default_factory=FibUpdateTimingModel)
+    max_backup_depth: int = 4
+
+
+@dataclass(frozen=True)
+class RerouteAction:
+    """One SWIFT fast-reroute activation."""
+
+    timestamp: float
+    peer_as: int
+    inferred_links: Tuple[Link, ...]
+    rules: Tuple[WildcardRule, ...]
+    rerouted_prefixes: FrozenSet[Prefix]
+    dataplane_update_seconds: float
+
+    @property
+    def rule_count(self) -> int:
+        """Number of wildcard rules installed by this activation."""
+        return len(self.rules)
+
+    @property
+    def completion_time(self) -> float:
+        """Wall-clock time at which the reroute is fully installed."""
+        return self.timestamp + self.dataplane_update_seconds
+
+
+class SwiftedRouter:
+    """A border router running SWIFT."""
+
+    def __init__(
+        self,
+        local_as: int,
+        config: Optional[SwiftConfig] = None,
+        history: Optional[HistoryModel] = None,
+    ) -> None:
+        self.local_as = local_as
+        self.config = config or SwiftConfig()
+        self.speaker = BGPSpeaker(local_as)
+        self.forwarding = TwoStageForwardingTable()
+        self.backup_computer = BackupComputer(
+            policy=self.config.policy, max_depth=self.config.max_backup_depth
+        )
+        self.encoder = TagEncoder(self.config.encoder)
+        self._history = history
+        self._engines: Dict[int, InferenceEngine] = {}
+        self._encoded: Optional[EncodedTags] = None
+        self._backup_table: Dict[Prefix, Dict[Link, BackupSelection]] = {}
+        self.reroutes: List[RerouteAction] = []
+        self._provisioned = False
+
+    # -- session management --------------------------------------------------
+
+    def add_peer(self, peer_as: int, name: Optional[str] = None) -> None:
+        """Create a peering session with ``peer_as``."""
+        self.speaker.add_peer(peer_as, name=name)
+
+    def load_initial_routes(
+        self,
+        peer_as: int,
+        routes: Mapping[Prefix, "ASPath"],
+        timestamp: float = 0.0,
+        local_pref: int = 100,
+    ) -> None:
+        """Install an initial Adj-RIB-In for ``peer_as`` (e.g. a table dump).
+
+        ``local_pref`` lets the caller express the operator's preference
+        between neighbors (e.g. the paper's Fig. 1 router prefers its path
+        through AS 2 even though AS 3 offers a shorter one).
+        """
+        from repro.bgp.attributes import PathAttributes  # local import to avoid cycle
+
+        for prefix in sorted(routes):
+            attributes = PathAttributes(
+                as_path=routes[prefix], next_hop=peer_as, local_pref=local_pref
+            )
+            self.speaker.receive(
+                Update.announce(timestamp, peer_as, prefix, attributes)
+            )
+
+    # -- provisioning -----------------------------------------------------------
+
+    def provision(self) -> EncodedTags:
+        """Pre-compute backups, tags and the default forwarding rules (§3.2).
+
+        Must be called after the initial routes are loaded and before the
+        burst arrives; a real deployment re-runs it periodically / upon
+        significant RIB changes.
+        """
+        best_routes: Dict[Prefix, RibEntry] = {
+            entry.prefix: entry for entry in self.speaker.loc_rib.best_entries()
+        }
+        self._backup_table = self.backup_computer.compute_table(
+            self.local_as, best_routes, self.speaker.alternate_routes
+        )
+        best_paths = {prefix: entry.as_path for prefix, entry in best_routes.items()}
+        self._encoded = self.encoder.encode(
+            best_paths, self._backup_table, neighbors=self.speaker.peer_ases
+        )
+
+        self.forwarding.clear_rules()
+        self.forwarding.load_tags(self._encoded.tags)
+        self._install_default_rules()
+
+        # (Re-)create one inference engine per session from its Adj-RIB-In.
+        self._engines = {}
+        for session in self.speaker.sessions():
+            rib = {
+                entry.prefix: entry.as_path for entry in session.rib_in.entries()
+            }
+            self._engines[session.peer_as] = InferenceEngine(
+                rib,
+                config=self.config.inference,
+                history=self._history,
+                local_as=self.local_as,
+                peer_as=session.peer_as,
+            )
+        self._provisioned = True
+        return self._encoded
+
+    def _install_default_rules(self) -> None:
+        """Default stage-2 rules: forward on the primary next-hop of the tag."""
+        assert self._encoded is not None
+        shift, width = self._encoded.layout.primary_group
+        for neighbor, identifier in self._encoded.next_hop_ids.items():
+            rule = WildcardRule(
+                value=identifier << shift,
+                mask=((1 << width) - 1) << shift,
+                next_hop=neighbor,
+                description=f"default: primary next-hop AS {neighbor}",
+            )
+            self.forwarding.install_rule(rule, priority=0)
+
+    # -- message processing --------------------------------------------------------
+
+    def receive(self, message: BGPMessage) -> Optional[RerouteAction]:
+        """Process one BGP message; returns a reroute action if SWIFT fires."""
+        if not self._provisioned:
+            raise RuntimeError("provision() must be called before receiving updates")
+        self.speaker.receive(message)
+        engine = self._engines.get(message.peer_as)
+        if engine is None:
+            return None
+        result = engine.process_message(message)
+        if result is None:
+            return None
+        return self._apply_inference(message.peer_as, result)
+
+    def receive_all(self, messages: Iterable[BGPMessage]) -> List[RerouteAction]:
+        """Process a stream of messages; returns every reroute action."""
+        actions: List[RerouteAction] = []
+        for message in messages:
+            action = self.receive(message)
+            if action is not None:
+                actions.append(action)
+        return actions
+
+    # -- rerouting ---------------------------------------------------------------
+
+    def _apply_inference(
+        self, peer_as: int, result: InferenceResult
+    ) -> Optional[RerouteAction]:
+        assert self._encoded is not None
+        rules: List[WildcardRule] = []
+        shared_endpoints = result.shared_endpoints
+        for link in result.inferred_links:
+            backups = self._backups_for_link(
+                link, result.prediction.predicted_prefixes, shared_endpoints
+            )
+            if not backups:
+                continue
+            rules.extend(self.encoder.reroute_rules(self._encoded, link, backups))
+        if not rules:
+            return None
+        self.forwarding.install_rules(rules, priority=SWIFT_RULE_PRIORITY)
+        duration = self.config.timing.rule_update_time(len(rules))
+        action = RerouteAction(
+            timestamp=result.timestamp,
+            peer_as=peer_as,
+            inferred_links=result.inferred_links,
+            rules=tuple(rules),
+            rerouted_prefixes=result.prediction.predicted_prefixes,
+            dataplane_update_seconds=duration,
+        )
+        self.reroutes.append(action)
+        return action
+
+    def _backups_for_link(
+        self,
+        link: Link,
+        prefixes: FrozenSet[Prefix],
+        shared_endpoints: FrozenSet[int] = frozenset(),
+    ) -> Dict[int, int]:
+        """Backup next-hops (and prefix counts) for traffic crossing ``link``.
+
+        When the inference aggregated several links, ``shared_endpoints`` are
+        the ASes common to all of them; backups whose path traverses one of
+        those endpoints are avoided when possible (§4.2 safety rule), falling
+        back to the pre-computed selection otherwise.
+        """
+        link = link if link[0] <= link[1] else (link[1], link[0])
+        counts: Dict[int, int] = {}
+        for prefix in prefixes:
+            per_link = self._backup_table.get(prefix)
+            if not per_link:
+                continue
+            selection = per_link.get(link)
+            if selection is None:
+                # Fall back to any backup of the prefix avoiding the inferred
+                # link (e.g. the link was not individually protected).
+                selection = next(
+                    (
+                        candidate
+                        for candidate in per_link.values()
+                        if link not in candidate.as_path.links()
+                    ),
+                    None,
+                )
+            if selection is not None and shared_endpoints:
+                safer = next(
+                    (
+                        candidate
+                        for candidate in per_link.values()
+                        if not (shared_endpoints & set(candidate.as_path.asns))
+                    ),
+                    None,
+                )
+                if safer is not None:
+                    selection = safer
+            if selection is None:
+                continue
+            counts[selection.next_hop] = counts.get(selection.next_hop, 0) + 1
+        return counts
+
+    def clear_reroutes(self) -> int:
+        """Remove the SWIFT rules (BGP has re-converged, §3 "fall back")."""
+        return self.forwarding.clear_rules(min_priority=SWIFT_RULE_PRIORITY)
+
+    # -- forwarding & introspection ---------------------------------------------------
+
+    def forward(self, destination: int) -> Optional[int]:
+        """Next-hop the data plane currently uses for ``destination``."""
+        return self.forwarding.forward_address(destination)
+
+    @property
+    def encoded_tags(self) -> Optional[EncodedTags]:
+        """The tag encoding produced by the last :meth:`provision` call."""
+        return self._encoded
+
+    @property
+    def backup_table(self) -> Dict[Prefix, Dict[Link, BackupSelection]]:
+        """The per-prefix, per-link backup table."""
+        return self._backup_table
+
+    def engine_for(self, peer_as: int) -> InferenceEngine:
+        """The inference engine watching the session with ``peer_as``."""
+        return self._engines[peer_as]
+
+    @property
+    def last_reroute(self) -> Optional[RerouteAction]:
+        """The most recent reroute action, if any."""
+        return self.reroutes[-1] if self.reroutes else None

@@ -1,0 +1,198 @@
+"""Forwarding tables: classic per-prefix FIB and the SWIFT two-stage table.
+
+The vanilla router of §2.1.2 forwards with a longest-prefix-match FIB whose
+entries are installed one prefix at a time (hence the tens of seconds of
+downtime for large bursts).  A SWIFTED router keeps that first stage for
+tagging and adds a second stage matching on the tag; rerouting a whole burst
+is then a handful of high-priority wildcard rule insertions (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.trie import PrefixTrie
+from repro.core.encoding import WildcardRule
+from repro.dataplane.packet import Packet
+
+__all__ = ["ForwardingDecision", "PerPrefixFib", "TwoStageForwardingTable"]
+
+
+@dataclass(frozen=True)
+class ForwardingDecision:
+    """Outcome of forwarding one packet."""
+
+    next_hop: Optional[int]
+    matched_prefix: Optional[Prefix] = None
+    matched_rule: Optional[WildcardRule] = None
+    tag: Optional[int] = None
+
+    @property
+    def dropped(self) -> bool:
+        """True when no entry matched (blackhole)."""
+        return self.next_hop is None
+
+
+class PerPrefixFib:
+    """A longest-prefix-match forwarding table with per-prefix next-hops."""
+
+    def __init__(self) -> None:
+        self._trie: PrefixTrie[int] = PrefixTrie()
+        self.updates_applied = 0
+
+    def install(self, prefix: Prefix, next_hop: int) -> None:
+        """Install (or replace) the next-hop of ``prefix``."""
+        self._trie.insert(prefix, next_hop)
+        self.updates_applied += 1
+
+    def withdraw(self, prefix: Prefix) -> bool:
+        """Remove the entry for ``prefix``; returns False when absent."""
+        try:
+            self._trie.remove(prefix)
+        except KeyError:
+            return False
+        self.updates_applied += 1
+        return True
+
+    def next_hop_of(self, destination: int) -> Optional[int]:
+        """Longest-prefix-match lookup of a destination address."""
+        match = self._trie.lookup(destination)
+        return match[1] if match is not None else None
+
+    def forward(self, packet: Packet) -> ForwardingDecision:
+        """Forward one packet."""
+        match = self._trie.lookup(packet.destination)
+        if match is None:
+            return ForwardingDecision(next_hop=None)
+        prefix, next_hop = match
+        packet.egress_next_hop = next_hop
+        return ForwardingDecision(next_hop=next_hop, matched_prefix=prefix)
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._trie
+
+    def entries(self) -> Iterable[Tuple[Prefix, int]]:
+        """Iterate over ``(prefix, next_hop)`` pairs."""
+        return self._trie.items()
+
+
+class TwoStageForwardingTable:
+    """The SWIFT two-stage table.
+
+    Stage 1 maps a destination prefix to a tag (and is *not* touched when
+    SWIFT reroutes).  Stage 2 holds forwarding rules matched against the tag:
+    low-priority default rules forward on the primary next-hop encoded in the
+    tag, and SWIFT inserts high-priority wildcard rules to reroute affected
+    traffic.  Priorities are integers, higher wins; insertion order breaks
+    ties (newest first), matching how a router's TCAM would be programmed.
+    """
+
+    def __init__(self) -> None:
+        self._stage1: PrefixTrie[int] = PrefixTrie()
+        self._rules: List[Tuple[int, int, WildcardRule]] = []  # (priority, seq, rule)
+        self._sequence = 0
+        self.stage1_updates = 0
+        self.stage2_updates = 0
+
+    # -- stage 1 -----------------------------------------------------------
+
+    def set_tag(self, prefix: Prefix, tag: int) -> None:
+        """Associate ``tag`` with ``prefix`` in the tagging stage."""
+        self._stage1.insert(prefix, tag)
+        self.stage1_updates += 1
+
+    def clear_tag(self, prefix: Prefix) -> bool:
+        """Remove the tag of ``prefix``; returns False when absent."""
+        try:
+            self._stage1.remove(prefix)
+        except KeyError:
+            return False
+        self.stage1_updates += 1
+        return True
+
+    def load_tags(self, tags: Dict[Prefix, int]) -> None:
+        """Bulk-load stage 1 (initial provisioning, not a reroute operation)."""
+        for prefix, tag in tags.items():
+            self._stage1.insert(prefix, tag)
+        self.stage1_updates += len(tags)
+
+    def tag_of(self, destination: int) -> Optional[int]:
+        """Tag that stage 1 would stamp on a packet for ``destination``."""
+        match = self._stage1.lookup(destination)
+        return match[1] if match is not None else None
+
+    @property
+    def tagged_prefix_count(self) -> int:
+        """Number of prefixes with a stage-1 entry."""
+        return len(self._stage1)
+
+    # -- stage 2 -----------------------------------------------------------
+
+    def install_rule(self, rule: WildcardRule, priority: int = 0) -> None:
+        """Install a stage-2 rule at the given priority."""
+        self._sequence += 1
+        self._rules.append((priority, self._sequence, rule))
+        # Highest priority first; among equals the most recent first.
+        self._rules.sort(key=lambda item: (-item[0], -item[1]))
+        self.stage2_updates += 1
+
+    def install_rules(self, rules: Sequence[WildcardRule], priority: int = 0) -> int:
+        """Install several rules; returns how many were installed."""
+        for rule in rules:
+            self.install_rule(rule, priority)
+        return len(rules)
+
+    def remove_rules(self, predicate) -> int:
+        """Remove every rule for which ``predicate(rule)`` is true."""
+        before = len(self._rules)
+        kept = [item for item in self._rules if not predicate(item[2])]
+        removed = before - len(kept)
+        self._rules = kept
+        self.stage2_updates += removed
+        return removed
+
+    def clear_rules(self, min_priority: Optional[int] = None) -> int:
+        """Remove all rules (or only those at or above ``min_priority``)."""
+        if min_priority is None:
+            removed = len(self._rules)
+            self._rules = []
+        else:
+            before = len(self._rules)
+            self._rules = [item for item in self._rules if item[0] < min_priority]
+            removed = before - len(self._rules)
+        self.stage2_updates += removed
+        return removed
+
+    @property
+    def rule_count(self) -> int:
+        """Number of stage-2 rules currently installed."""
+        return len(self._rules)
+
+    def rules(self) -> List[WildcardRule]:
+        """The stage-2 rules in matching order (highest priority first)."""
+        return [rule for _, _, rule in self._rules]
+
+    # -- forwarding ----------------------------------------------------------
+
+    def forward(self, packet: Packet) -> ForwardingDecision:
+        """Run a packet through both stages."""
+        tag = self.tag_of(packet.destination)
+        if tag is None:
+            return ForwardingDecision(next_hop=None)
+        packet.tag = tag
+        for _, _, rule in self._rules:
+            if rule.matches(tag):
+                packet.egress_next_hop = rule.next_hop
+                return ForwardingDecision(
+                    next_hop=rule.next_hop, matched_rule=rule, tag=tag
+                )
+        return ForwardingDecision(next_hop=None, tag=tag)
+
+    def forward_address(self, destination: int) -> Optional[int]:
+        """Convenience wrapper: next-hop for a bare destination address."""
+        return self.forward(Packet(destination=destination)).next_hop

@@ -1,0 +1,36 @@
+"""Packets traversing the modelled data plane."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bgp.prefix import Prefix
+
+__all__ = ["Packet"]
+
+
+@dataclass
+class Packet:
+    """A data-plane packet.
+
+    Only the fields the SWIFT pipeline touches are modelled: the destination
+    address (used by the per-prefix first stage), the tag stamped by the
+    first stage (carried in the destination MAC in the paper's deployment)
+    and bookkeeping about where the packet ended up.
+    """
+
+    destination: int
+    tag: Optional[int] = None
+    egress_next_hop: Optional[int] = None
+    timestamp: float = 0.0
+
+    @classmethod
+    def to_prefix(cls, prefix: Prefix, timestamp: float = 0.0) -> "Packet":
+        """Build a probe packet addressed to the first address of ``prefix``."""
+        return cls(destination=prefix.network, timestamp=timestamp)
+
+    @property
+    def delivered(self) -> bool:
+        """True once the packet has been assigned an egress next-hop."""
+        return self.egress_next_hop is not None

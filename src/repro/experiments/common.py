@@ -1,0 +1,161 @@
+"""Shared plumbing for the experiment harnesses.
+
+The real-trace experiments (Fig. 6, Table 2, Fig. 7, Fig. 8) all follow the
+same recipe: take a burst and the pre-burst RIB of its session, run the SWIFT
+inference engine over the burst's message stream, and score the accepted
+inference against what the full burst eventually withdrew.  This module
+factors that recipe out, plus the construction of a reusable burst corpus
+from the synthetic trace generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bgp.attributes import ASPath
+from repro.bgp.messages import BGPMessage, Update
+from repro.bgp.prefix import Prefix
+from repro.core.history import HistoryModel
+from repro.core.inference import InferenceConfig, InferenceEngine, InferenceResult
+from repro.metrics.classification import (
+    ClassificationCounts,
+    classify_inference,
+    classify_prediction,
+)
+from repro.traces.synthetic import (
+    SyntheticBurst,
+    SyntheticTrace,
+    SyntheticTraceConfig,
+    SyntheticTraceGenerator,
+)
+
+__all__ = ["BurstEvaluation", "CorpusBurst", "burst_corpus", "evaluate_burst"]
+
+
+@dataclass(frozen=True)
+class CorpusBurst:
+    """One burst of the evaluation corpus, with its session RIB."""
+
+    peer_as: int
+    messages: Tuple[BGPMessage, ...]
+    rib: Mapping[Prefix, ASPath]
+    withdrawn_prefixes: FrozenSet[Prefix]
+    failed_link: Optional[Tuple[int, int]] = None
+
+    @property
+    def size(self) -> int:
+        """Burst size in withdrawals."""
+        return sum(
+            len(m.withdrawals) for m in self.messages if isinstance(m, Update)
+        )
+
+    @property
+    def start_time(self) -> float:
+        """Timestamp of the first burst message."""
+        return self.messages[0].timestamp if self.messages else 0.0
+
+
+@dataclass
+class BurstEvaluation:
+    """The outcome of running SWIFT over one burst."""
+
+    burst: CorpusBurst
+    inference: Optional[InferenceResult]
+    localisation: Optional[ClassificationCounts]
+    prediction: Optional[ClassificationCounts]
+
+    @property
+    def made_prediction(self) -> bool:
+        """Whether SWIFT accepted an inference for this burst."""
+        return self.inference is not None
+
+    @property
+    def tpr(self) -> float:
+        """Localisation TPR (0 when no inference was made)."""
+        return self.localisation.tpr if self.localisation else 0.0
+
+    @property
+    def fpr(self) -> float:
+        """Localisation FPR (0 when no inference was made)."""
+        return self.localisation.fpr if self.localisation else 0.0
+
+    @property
+    def cpr(self) -> float:
+        """Correctly Predicted Rate of future withdrawals."""
+        return self.prediction.tpr if self.prediction else 0.0
+
+
+def burst_corpus(
+    peer_count: int = 12,
+    duration_days: float = 30.0,
+    min_table_size: int = 5000,
+    max_table_size: int = 40000,
+    min_burst_size: int = 2500,
+    seed: int = 7,
+    noise_rate_per_second: float = 0.0,
+) -> List[CorpusBurst]:
+    """Generate a corpus of bursts (with RIBs) for the §6 experiments.
+
+    The defaults are a scaled-down version of the paper's dataset (1,802
+    bursts above 1,500 withdrawals from 213 sessions): fewer sessions and
+    smaller tables, same structural properties.  Background noise is disabled
+    by default because the corpus carries each burst's messages individually.
+    """
+    config = SyntheticTraceConfig(
+        peer_count=peer_count,
+        duration_days=duration_days,
+        min_table_size=min_table_size,
+        max_table_size=max_table_size,
+        noise_rate_per_second=noise_rate_per_second,
+        seed=seed,
+    )
+    trace = SyntheticTraceGenerator(config).generate()
+    corpus: List[CorpusBurst] = []
+    for burst in trace.bursts:
+        if burst.size < min_burst_size:
+            continue
+        rib = trace.rib_of(burst.peer.peer_as)
+        corpus.append(
+            CorpusBurst(
+                peer_as=burst.peer.peer_as,
+                messages=tuple(burst.messages),
+                rib=rib,
+                withdrawn_prefixes=burst.withdrawn_prefixes | burst.noise_prefixes,
+                failed_link=burst.failed_link,
+            )
+        )
+    return corpus
+
+
+def evaluate_burst(
+    burst: CorpusBurst,
+    config: Optional[InferenceConfig] = None,
+    history: Optional[HistoryModel] = None,
+) -> BurstEvaluation:
+    """Run the inference engine over one burst and score the result."""
+    engine = InferenceEngine(burst.rib, config=config, history=history)
+    engine.process_stream(burst.messages)
+    result = engine.accepted_inference
+    if result is None:
+        return BurstEvaluation(
+            burst=burst, inference=None, localisation=None, prediction=None
+        )
+    session_prefixes = list(burst.rib.keys())
+    localisation = classify_inference(
+        predicted=result.prediction.predicted_prefixes,
+        withdrawn_in_burst=burst.withdrawn_prefixes,
+        session_prefixes=session_prefixes,
+    )
+    prediction = classify_prediction(
+        predicted=result.prediction.predicted_prefixes,
+        withdrawn_before_inference=result.prediction.already_withdrawn,
+        withdrawn_in_burst=burst.withdrawn_prefixes,
+        session_prefixes=session_prefixes,
+    )
+    return BurstEvaluation(
+        burst=burst,
+        inference=result,
+        localisation=localisation,
+        prediction=prediction,
+    )

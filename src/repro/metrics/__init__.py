@@ -1,0 +1,36 @@
+"""Evaluation metrics used by the paper's §6.
+
+* :mod:`repro.metrics.classification` — TPR / FPR / CPR scoring of inferences
+  against burst ground truth (Fig. 6, Table 2).
+* :mod:`repro.metrics.quadrants` — the quadrant binning of Fig. 6.
+* :mod:`repro.metrics.distributions` — CDFs, percentiles and box statistics
+  (Fig. 2, Fig. 7, Fig. 8).
+* :mod:`repro.metrics.convergence` — learning-time computation (Fig. 8) and
+  downtime series (Table 1, Fig. 9).
+* :mod:`repro.metrics.tables` — plain-text table rendering for the harnesses.
+"""
+
+from repro.metrics.classification import (
+    ClassificationCounts,
+    classify_inference,
+    classify_prediction,
+)
+from repro.metrics.convergence import downtime_series, learning_times
+from repro.metrics.distributions import cdf_points, percentile, summarize
+from repro.metrics.quadrants import Quadrant, quadrant_of, quadrant_shares
+from repro.metrics.tables import format_table
+
+__all__ = [
+    "ClassificationCounts",
+    "Quadrant",
+    "cdf_points",
+    "classify_inference",
+    "classify_prediction",
+    "downtime_series",
+    "format_table",
+    "learning_times",
+    "percentile",
+    "quadrant_of",
+    "quadrant_shares",
+    "summarize",
+]

@@ -1,0 +1,53 @@
+"""Quadrant analysis of inference quality (Fig. 6).
+
+The paper plots each burst's (FPR, TPR) point and reads the figure by
+quadrant: top-left = very good inferences (high TPR, low FPR), top-right =
+over-estimations, bottom-left = under-estimations, bottom-right = bad
+inferences (the paper reports SWIFT never lands there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Sequence, Tuple
+
+__all__ = ["Quadrant", "quadrant_of", "quadrant_shares"]
+
+
+class Quadrant(Enum):
+    """The four quadrants of the TPR/FPR plane (50% cut on both axes)."""
+
+    TOP_LEFT = "good"
+    TOP_RIGHT = "overestimate"
+    BOTTOM_LEFT = "underestimate"
+    BOTTOM_RIGHT = "bad"
+
+
+def quadrant_of(tpr: float, fpr: float, cut: float = 0.5) -> Quadrant:
+    """Classify one (TPR, FPR) point into its quadrant."""
+    if not 0.0 <= tpr <= 1.0 or not 0.0 <= fpr <= 1.0:
+        raise ValueError("rates must be in [0, 1]")
+    high_tpr = tpr >= cut
+    high_fpr = fpr > cut
+    if high_tpr and not high_fpr:
+        return Quadrant.TOP_LEFT
+    if high_tpr and high_fpr:
+        return Quadrant.TOP_RIGHT
+    if not high_tpr and not high_fpr:
+        return Quadrant.BOTTOM_LEFT
+    return Quadrant.BOTTOM_RIGHT
+
+
+def quadrant_shares(
+    points: Iterable[Tuple[float, float]], cut: float = 0.5
+) -> Dict[Quadrant, float]:
+    """Fraction of (TPR, FPR) points in each quadrant."""
+    counts: Dict[Quadrant, int] = {quadrant: 0 for quadrant in Quadrant}
+    total = 0
+    for tpr, fpr in points:
+        counts[quadrant_of(tpr, fpr, cut)] += 1
+        total += 1
+    if total == 0:
+        return {quadrant: 0.0 for quadrant in Quadrant}
+    return {quadrant: count / total for quadrant, count in counts.items()}

@@ -1,0 +1,46 @@
+"""Control-plane simulation substrate (the C-BGP substitute).
+
+The paper validates SWIFT's inference on bursts produced by C-BGP over a
+generated 1,000-AS topology (§6.1, §6.2.2, §6.3.2).  This package provides
+the equivalent machinery:
+
+* :mod:`repro.simulation.routing` — per-origin valley-free route computation
+  (best path of every AS towards an origin, plus the candidate routes each
+  AS learns from its neighbors),
+* :mod:`repro.simulation.events` — link/node failure events,
+* :mod:`repro.simulation.timing` — message pacing models that spread a burst
+  over realistic wall-clock durations,
+* :mod:`repro.simulation.noise` — injection of withdrawals unrelated to the
+  outage (BGP noise),
+* :mod:`repro.simulation.propagation` — the simulator proper: builds vantage
+  point RIBs, applies failures, and emits per-session message streams with
+  ground truth.
+"""
+
+from repro.simulation.events import LinkFailure, NodeFailure, RoutingEvent
+from repro.simulation.noise import NoiseConfig, inject_noise
+from repro.simulation.propagation import (
+    BurstGroundTruth,
+    PropagationSimulator,
+    SimulatedBurst,
+    VantagePoint,
+)
+from repro.simulation.routing import GaoRexfordRouting, RouteComputation
+from repro.simulation.timing import PacingModel, UniformPacing, EmpiricalPacing
+
+__all__ = [
+    "BurstGroundTruth",
+    "EmpiricalPacing",
+    "GaoRexfordRouting",
+    "LinkFailure",
+    "NodeFailure",
+    "NoiseConfig",
+    "PacingModel",
+    "PropagationSimulator",
+    "RouteComputation",
+    "RoutingEvent",
+    "SimulatedBurst",
+    "UniformPacing",
+    "VantagePoint",
+    "inject_noise",
+]

@@ -1,0 +1,79 @@
+"""Routing events injected into the control-plane simulation.
+
+The paper studies outages caused by link failures (possibly several links
+sharing an endpoint, e.g. a router failure, §4.2) and by maintenance or
+peering failures observed at a national ISP (§2.2.2).  We model the two
+event shapes the inference algorithm is designed for: a single AS-link
+failure and an AS-node failure (all adjacent links fail at once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.topology.as_graph import ASGraph, ASLink, canonical_link
+
+__all__ = ["LinkFailure", "NodeFailure", "RoutingEvent"]
+
+
+@dataclass(frozen=True)
+class RoutingEvent:
+    """Base class for events; ``at`` is the failure time in seconds."""
+
+    at: float = 0.0
+
+    def failed_links(self, graph: ASGraph) -> List[Tuple[int, int]]:
+        """The canonical AS links removed by this event."""
+        raise NotImplementedError
+
+    def apply(self, graph: ASGraph) -> List[ASLink]:
+        """Remove the failed links from ``graph`` and return them (for undo)."""
+        removed: List[ASLink] = []
+        for a, b in self.failed_links(graph):
+            if graph.has_link(a, b):
+                removed.append(graph.remove_link(a, b))
+        return removed
+
+    @staticmethod
+    def undo(graph: ASGraph, removed: List[ASLink]) -> None:
+        """Re-insert links previously removed by :meth:`apply`."""
+        for link in removed:
+            graph.restore_link(link)
+
+
+@dataclass(frozen=True)
+class LinkFailure(RoutingEvent):
+    """Failure of a single AS link."""
+
+    a: int = 0
+    b: int = 0
+
+    def __post_init__(self) -> None:
+        if self.a <= 0 or self.b <= 0 or self.a == self.b:
+            raise ValueError(f"invalid link ({self.a}, {self.b})")
+
+    @property
+    def link(self) -> Tuple[int, int]:
+        """Canonical endpoints of the failing link."""
+        return canonical_link(self.a, self.b)
+
+    def failed_links(self, graph: ASGraph) -> List[Tuple[int, int]]:
+        return [self.link]
+
+
+@dataclass(frozen=True)
+class NodeFailure(RoutingEvent):
+    """Failure of an AS (router/AS-wide outage): all adjacent links go down."""
+
+    asn: int = 0
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"invalid AS number {self.asn}")
+
+    def failed_links(self, graph: ASGraph) -> List[Tuple[int, int]]:
+        return [
+            canonical_link(self.asn, neighbor)
+            for neighbor in sorted(graph.neighbors(self.asn))
+        ]

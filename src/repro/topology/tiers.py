@@ -1,0 +1,65 @@
+"""Tier assignment for generated AS topologies.
+
+The paper's C-BGP setup (§6.1) classifies ASes into tiers: "The three ASes
+with highest degree are Tier1 ASes and are fully-meshed.  ASes directly
+connected to a Tier1 are Tier2s.  ASes directly connected to a Tier2 but not
+to a Tier1 are Tier3s, etc."  This module implements exactly that
+breadth-first tiering given an undirected adjacency structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Set
+
+__all__ = ["assign_tiers"]
+
+
+def assign_tiers(
+    adjacency: Mapping[int, Iterable[int]],
+    tier1_count: int = 3,
+) -> Dict[int, int]:
+    """Assign a tier (1 = top) to every AS.
+
+    Parameters
+    ----------
+    adjacency:
+        Mapping from AS number to iterable of neighbor AS numbers.
+    tier1_count:
+        How many of the highest-degree ASes form the Tier-1 clique (the paper
+        uses 3).
+
+    Returns
+    -------
+    dict
+        Mapping AS number -> tier.  ASes unreachable from the Tier-1 core are
+        assigned ``max_tier + 1`` so every AS gets a tier.
+    """
+    if tier1_count <= 0:
+        raise ValueError("tier1_count must be positive")
+    degrees = {asn: len(set(neighbors)) for asn, neighbors in adjacency.items()}
+    if not degrees:
+        return {}
+    # Highest degree first; ties broken by lowest ASN for determinism.
+    ordered = sorted(degrees, key=lambda asn: (-degrees[asn], asn))
+    tier1 = ordered[: min(tier1_count, len(ordered))]
+
+    tiers: Dict[int, int] = {asn: 1 for asn in tier1}
+    frontier: List[int] = list(tier1)
+    current_tier = 1
+    while frontier:
+        next_frontier: List[int] = []
+        for asn in frontier:
+            for neighbor in adjacency.get(asn, ()):  # breadth-first expansion
+                if neighbor not in tiers:
+                    tiers[neighbor] = current_tier + 1
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+        current_tier += 1
+
+    # Disconnected leftovers (should not happen for generated topologies, but
+    # keep every AS classified).
+    max_tier = max(tiers.values()) if tiers else 1
+    for asn in degrees:
+        if asn not in tiers:
+            tiers[asn] = max_tier + 1
+    return tiers

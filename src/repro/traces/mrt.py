@@ -1,0 +1,200 @@
+"""A lightweight MRT-like trace format.
+
+Real RouteViews / RIS archives come as binary MRT files read with
+``pybgpstream`` or ``mrtparse``.  Offline we keep the same *shape* of the
+pipeline — dump records to disk, stream them back, convert them into BGP
+messages — with a simple line-oriented text format, one record per line:
+
+``type|timestamp|peer_as|prefix|as_path``
+
+where ``type`` is ``A`` (announcement), ``W`` (withdrawal), ``R`` (RIB entry
+from a table dump) or ``S`` (session state change).  The format is close to
+the classic ``bgpdump -m`` one-line output, which keeps it human greppable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.bgp.attributes import ASPath, PathAttributes
+from repro.bgp.messages import BGPMessage, Notification, Update
+from repro.bgp.prefix import Prefix
+
+__all__ = [
+    "TraceReader",
+    "TraceRecord",
+    "TraceWriter",
+    "messages_to_records",
+    "records_to_messages",
+]
+
+_VALID_TYPES = ("A", "W", "R", "S")
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One record of the trace format."""
+
+    type: str
+    timestamp: float
+    peer_as: int
+    prefix: Optional[Prefix] = None
+    as_path: Optional[ASPath] = None
+
+    def __post_init__(self) -> None:
+        if self.type not in _VALID_TYPES:
+            raise ValueError(f"invalid record type {self.type!r}")
+        if self.type in ("A", "R") and (self.prefix is None or self.as_path is None):
+            raise ValueError("announcement/RIB records need a prefix and an AS path")
+        if self.type == "W" and self.prefix is None:
+            raise ValueError("withdrawal records need a prefix")
+
+    def to_line(self) -> str:
+        """Serialise the record to its one-line text form."""
+        prefix_text = str(self.prefix) if self.prefix is not None else ""
+        path_text = str(self.as_path) if self.as_path is not None else ""
+        return f"{self.type}|{self.timestamp:.6f}|{self.peer_as}|{prefix_text}|{path_text}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceRecord":
+        """Parse a record from its one-line text form."""
+        parts = line.rstrip("\n").split("|")
+        if len(parts) != 5:
+            raise ValueError(f"malformed trace line: {line!r}")
+        record_type, timestamp_text, peer_text, prefix_text, path_text = parts
+        prefix = Prefix.from_string(prefix_text) if prefix_text else None
+        as_path = ASPath.from_string(path_text) if path_text else None
+        return cls(
+            type=record_type,
+            timestamp=float(timestamp_text),
+            peer_as=int(peer_text),
+            prefix=prefix,
+            as_path=as_path,
+        )
+
+
+class TraceWriter:
+    """Writes trace records to a file (or file-like object)."""
+
+    def __init__(self, destination: Union[str, IO[str]]) -> None:
+        if isinstance(destination, str):
+            self._file: IO[str] = open(destination, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = destination
+            self._owns_file = False
+        self.records_written = 0
+
+    def write(self, record: TraceRecord) -> None:
+        """Write one record."""
+        self._file.write(record.to_line() + "\n")
+        self.records_written += 1
+
+    def write_all(self, records: Iterable[TraceRecord]) -> None:
+        """Write many records."""
+        for record in records:
+            self.write(record)
+
+    def close(self) -> None:
+        """Flush and close the underlying file if we own it."""
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Streams trace records back from a file (or file-like object)."""
+
+    def __init__(self, source: Union[str, IO[str]]) -> None:
+        self._source = source
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        if isinstance(self._source, str):
+            with open(self._source, "r", encoding="utf-8") as handle:
+                yield from self._iter_handle(handle)
+        else:
+            yield from self._iter_handle(self._source)
+
+    @staticmethod
+    def _iter_handle(handle: IO[str]) -> Iterator[TraceRecord]:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield TraceRecord.from_line(line)
+
+    def read_all(self) -> List[TraceRecord]:
+        """Materialise every record in a list."""
+        return list(iter(self))
+
+
+def messages_to_records(messages: Iterable[BGPMessage]) -> List[TraceRecord]:
+    """Convert BGP messages into trace records (UPDATE and NOTIFICATION only)."""
+    records: List[TraceRecord] = []
+    for message in messages:
+        if isinstance(message, Update):
+            for prefix in message.withdrawals:
+                records.append(
+                    TraceRecord(
+                        type="W",
+                        timestamp=message.timestamp,
+                        peer_as=message.peer_as,
+                        prefix=prefix,
+                    )
+                )
+            for announcement in message.announcements:
+                records.append(
+                    TraceRecord(
+                        type="A",
+                        timestamp=message.timestamp,
+                        peer_as=message.peer_as,
+                        prefix=announcement.prefix,
+                        as_path=announcement.attributes.as_path,
+                    )
+                )
+        elif isinstance(message, Notification):
+            records.append(
+                TraceRecord(
+                    type="S", timestamp=message.timestamp, peer_as=message.peer_as
+                )
+            )
+    return records
+
+
+def records_to_messages(records: Iterable[TraceRecord]) -> List[BGPMessage]:
+    """Convert trace records back into BGP messages (one prefix per message).
+
+    RIB-dump records (type ``R``) are converted into announcements so a
+    session can be pre-loaded by replaying them before the updates.
+    """
+    messages: List[BGPMessage] = []
+    for record in records:
+        if record.type == "W":
+            assert record.prefix is not None
+            messages.append(
+                Update.withdraw(record.timestamp, record.peer_as, record.prefix)
+            )
+        elif record.type in ("A", "R"):
+            assert record.prefix is not None and record.as_path is not None
+            attributes = PathAttributes(
+                as_path=record.as_path,
+                next_hop=record.as_path.first_hop or record.peer_as,
+            )
+            messages.append(
+                Update.announce(
+                    record.timestamp, record.peer_as, record.prefix, attributes
+                )
+            )
+        elif record.type == "S":
+            messages.append(
+                Notification(timestamp=record.timestamp, peer_as=record.peer_as)
+            )
+    return messages

@@ -1,0 +1,65 @@
+"""Tests for the §3.3 loop-guard monitor."""
+
+import pytest
+
+from repro.bgp.attributes import ASPath, PathAttributes
+from repro.bgp.messages import KeepAlive, Update
+from repro.bgp.prefix import prefix_block
+from repro.core.loop_guard import LoopGuard
+
+PFX = prefix_block("60.0.0.0/24", 20)
+
+
+def _watch_all(guard, next_hop=3, path=None, avoided=((5, 6),)):
+    path = path or ASPath([3, 6])
+    for prefix in PFX:
+        guard.watch(prefix, next_hop, path, avoided)
+
+
+class TestLoopGuard:
+    def test_alert_on_backup_withdrawal(self):
+        guard = LoopGuard()
+        _watch_all(guard)
+        alerts = guard.observe(Update.withdraw(10.0, 3, PFX[0]))
+        assert len(alerts) == 1
+        assert alerts[0].prefix == PFX[0]
+        assert "withdrew" in alerts[0].reason
+        # The alerted prefix is no longer watched; others still are.
+        assert guard.watched_count == len(PFX) - 1
+
+    def test_alert_on_backup_switching_to_avoided_link(self):
+        guard = LoopGuard()
+        _watch_all(guard, avoided=((5, 6),))
+        bad_path = PathAttributes(as_path=ASPath([3, 5, 6]), next_hop=3)
+        alerts = guard.observe(Update.announce(11.0, 3, PFX[1], bad_path))
+        assert len(alerts) == 1
+        assert "avoided link" in alerts[0].reason
+
+    def test_no_alert_for_harmless_updates(self):
+        guard = LoopGuard()
+        _watch_all(guard)
+        good_path = PathAttributes(as_path=ASPath([3, 9, 6]), next_hop=3)
+        assert guard.observe(Update.announce(11.0, 3, PFX[1], good_path)) == []
+        # Messages from other peers about the watched prefix are ignored.
+        assert guard.observe(Update.withdraw(12.0, 2, PFX[1])) == []
+        # Non-update messages are ignored.
+        assert guard.observe(KeepAlive(13.0, 3)) == []
+        assert guard.watched_count == len(PFX)
+
+    def test_callback_and_release(self):
+        seen = []
+        guard = LoopGuard(on_alert=seen.append)
+        _watch_all(guard)
+        guard.observe_stream([Update.withdraw(10.0, 3, p) for p in PFX[:5]])
+        assert len(seen) == 5
+        guard.release_all()
+        assert guard.watched_count == 0
+
+    def test_watch_reroute_helper(self):
+        guard = LoopGuard()
+        paths = {p: ASPath([3, 6]) for p in PFX[:10]}
+        count = guard.watch_reroute(
+            PFX, backup_next_hop=3, backup_path_of=paths.get, avoided_links=[(5, 6)]
+        )
+        assert count == 10
+        assert guard.watched_count == 10

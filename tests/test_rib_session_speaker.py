@@ -1,0 +1,185 @@
+"""Tests for RIBs, decision process, sessions and the BGP speaker."""
+
+import pytest
+
+from repro.bgp.attributes import ASPath, PathAttributes
+from repro.bgp.decision import DecisionProcess, gao_rexford_ranking
+from repro.bgp.messages import (
+    KeepAlive,
+    Notification,
+    Update,
+    iter_withdrawn_prefixes,
+    split_update,
+)
+from repro.bgp.prefix import Prefix, prefix_block
+from repro.bgp.rib import AdjRibIn, LocRib, RibEntry, RouteChangeKind
+from repro.bgp.session import PeeringSession, SessionState
+from repro.bgp.speaker import BGPSpeaker
+
+
+def _attrs(path, next_hop=None, local_pref=100):
+    as_path = ASPath(path)
+    return PathAttributes(
+        as_path=as_path, next_hop=next_hop or as_path.first_hop, local_pref=local_pref
+    )
+
+
+PFX = prefix_block("10.0.0.0/24", 50)
+
+
+class TestAdjRibIn:
+    def test_announce_withdraw_cycle(self):
+        rib = AdjRibIn(peer_as=2)
+        change = rib.announce(PFX[0], _attrs([2, 5, 6]))
+        assert change.kind == RouteChangeKind.NEW
+        change = rib.announce(PFX[0], _attrs([2, 3, 6]))
+        assert change.kind == RouteChangeKind.UPDATED
+        change = rib.withdraw(PFX[0])
+        assert change.kind == RouteChangeKind.WITHDRAWN
+        assert rib.withdraw(PFX[0]).kind == RouteChangeKind.UNCHANGED
+
+    def test_link_index_tracks_paths(self):
+        rib = AdjRibIn(peer_as=2)
+        for prefix in PFX[:10]:
+            rib.announce(prefix, _attrs([2, 5, 6]))
+        for prefix in PFX[10:15]:
+            rib.announce(prefix, _attrs([2, 3, 7]))
+        assert rib.prefix_count_via_link((5, 6)) == 10
+        assert rib.prefix_count_via_link((6, 5)) == 10
+        assert rib.prefix_count_via_link((3, 7)) == 5
+        rib.withdraw(PFX[0])
+        assert rib.prefix_count_via_link((5, 6)) == 9
+        # Re-announcing over a new path moves the prefix between links.
+        rib.announce(PFX[1], _attrs([2, 3, 7]))
+        assert rib.prefix_count_via_link((5, 6)) == 8
+        assert rib.prefix_count_via_link((3, 7)) == 6
+
+    def test_prefixes_via_as(self):
+        rib = AdjRibIn(peer_as=2)
+        rib.announce(PFX[0], _attrs([2, 5, 6]))
+        rib.announce(PFX[1], _attrs([2, 3, 7]))
+        assert rib.prefixes_via_as(5) == frozenset({PFX[0]})
+
+
+class TestDecisionProcess:
+    def test_prefers_local_pref_then_length(self):
+        process = DecisionProcess()
+        entries = [
+            RibEntry(PFX[0], _attrs([2, 5, 6], local_pref=100), 2),
+            RibEntry(PFX[0], _attrs([3, 6], local_pref=100), 3),
+            RibEntry(PFX[0], _attrs([4, 5, 9, 6], local_pref=200), 4),
+        ]
+        assert process.select(entries).peer_as == 4
+        # Without the local-pref boost the shortest path wins.
+        entries[2] = RibEntry(PFX[0], _attrs([4, 5, 6], local_pref=100), 4)
+        assert process.select(entries).peer_as == 3
+
+    def test_discards_looped_paths(self):
+        process = DecisionProcess()
+        looped = RibEntry(PFX[0], _attrs([2, 5, 2]), 2)
+        assert process.select([looped]) is None
+
+    def test_gao_rexford_ranking_prefers_customer(self):
+        relationships = {2: 2, 3: 0}  # 2 = provider, 3 = customer
+        process = DecisionProcess(gao_rexford_ranking(lambda asn: relationships[asn]))
+        entries = [
+            RibEntry(PFX[0], _attrs([2, 6]), 2),
+            RibEntry(PFX[0], _attrs([3, 5, 6]), 3),
+        ]
+        assert process.select(entries).peer_as == 3
+
+
+class TestMessages:
+    def test_split_update(self):
+        update = Update.withdraw_many(0.0, 2, PFX[:10])
+        chunks = split_update(update, 3)
+        assert sum(c.prefix_count for c in chunks) == 10
+        assert all(c.prefix_count <= 3 for c in chunks)
+
+    def test_split_update_invalid(self):
+        with pytest.raises(ValueError):
+            split_update(Update.withdraw(0.0, 2, PFX[0]), 0)
+
+    def test_iter_withdrawn(self):
+        messages = [Update.withdraw(1.0, 2, PFX[0]), KeepAlive(2.0, 2)]
+        assert list(iter_withdrawn_prefixes(messages)) == [(1.0, 2, PFX[0])]
+
+
+class TestPeeringSession:
+    def test_processing_updates_rib_and_stats(self):
+        session = PeeringSession(1, 2)
+        session.establish()
+        session.process(Update.announce(1.0, 2, PFX[0], _attrs([2, 6])))
+        session.process(Update.withdraw(2.0, 2, PFX[0]))
+        assert session.stats.announcements_received == 1
+        assert session.stats.withdrawals_received == 1
+        assert len(session.rib_in) == 0
+
+    def test_notification_resets_rib(self):
+        session = PeeringSession(1, 2)
+        session.establish()
+        session.process(Update.announce(1.0, 2, PFX[0], _attrs([2, 6])))
+        session.process(Notification(timestamp=2.0, peer_as=2))
+        assert session.state == SessionState.CLOSED
+        assert len(session.rib_in) == 0
+        assert session.stats.session_resets == 1
+
+    def test_observers_invoked(self):
+        session = PeeringSession(1, 2)
+        session.establish()
+        seen = []
+        session.add_observer(lambda s, m, c: seen.append(len(c)))
+        session.process(Update.announce(1.0, 2, PFX[0], _attrs([2, 6])))
+        assert seen == [1]
+
+    def test_stream_window_and_counts(self):
+        session = PeeringSession(1, 2)
+        session.establish(timestamp=0.0)
+        for index, prefix in enumerate(PFX[:10]):
+            session.process(Update.withdraw(float(index), 2, prefix))
+        assert session.stream.withdrawal_count() == 10
+        assert session.stream.withdrawals_in_window(0.0, 5.0) == 5
+
+
+class TestBGPSpeaker:
+    def test_best_route_changes_on_withdrawal(self):
+        speaker = BGPSpeaker(1)
+        speaker.add_peer(2)
+        speaker.add_peer(3)
+        speaker.receive(Update.announce(0.0, 2, PFX[0], _attrs([2, 5, 6], local_pref=200)))
+        speaker.receive(Update.announce(0.0, 3, PFX[0], _attrs([3, 6])))
+        assert speaker.best_route(PFX[0]).peer_as == 2
+        changes = speaker.receive(Update.withdraw(1.0, 2, PFX[0]))
+        assert len(changes) == 1
+        assert changes[0].new.peer_as == 3
+        assert speaker.best_route(PFX[0]).peer_as == 3
+
+    def test_loss_of_reachability(self):
+        speaker = BGPSpeaker(1)
+        speaker.add_peer(2)
+        speaker.receive(Update.announce(0.0, 2, PFX[0], _attrs([2, 6])))
+        changes = speaker.receive(Update.withdraw(1.0, 2, PFX[0]))
+        assert changes[0].is_loss_of_reachability
+        assert speaker.best_route(PFX[0]) is None
+
+    def test_alternate_routes_sorted_by_preference(self):
+        speaker = BGPSpeaker(1)
+        for peer in (2, 3, 4):
+            speaker.add_peer(peer)
+        speaker.receive(Update.announce(0.0, 2, PFX[0], _attrs([2, 5, 6], local_pref=300)))
+        speaker.receive(Update.announce(0.0, 3, PFX[0], _attrs([3, 6])))
+        speaker.receive(Update.announce(0.0, 4, PFX[0], _attrs([4, 5, 6])))
+        alternates = speaker.alternate_routes(PFX[0])
+        assert [entry.peer_as for entry in alternates] == [3, 4]
+
+    def test_unknown_peer_raises(self):
+        speaker = BGPSpeaker(1)
+        with pytest.raises(KeyError):
+            speaker.receive(Update.withdraw(0.0, 9, PFX[0]))
+
+    def test_remove_peer_withdraws_routes(self):
+        speaker = BGPSpeaker(1)
+        speaker.add_peer(2)
+        speaker.receive(Update.announce(0.0, 2, PFX[0], _attrs([2, 6])))
+        changes = speaker.remove_peer(2)
+        assert changes and changes[0].new is None

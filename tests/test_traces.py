@@ -1,0 +1,228 @@
+"""Tests for the trace substrate: MRT format, topologies, generator, bursts."""
+
+import io
+import random
+
+import pytest
+
+from repro.bgp.attributes import ASPath
+from repro.bgp.messages import Update
+from repro.bgp.prefix import Prefix
+from repro.traces.bursts import Burst, BurstExtractionConfig, BurstExtractor
+from repro.traces.collectors import all_peers, build_collector_fleet
+from repro.traces.mrt import TraceReader, TraceRecord, TraceWriter, messages_to_records, records_to_messages
+from repro.traces.popularity import POPULAR_ORGANIZATIONS, all_popular_asns, is_popular_asn, organization_of
+from repro.traces.session_topology import SessionTopology, SessionTopologyConfig
+from repro.traces.synthetic import SyntheticTraceConfig, SyntheticTraceGenerator
+
+
+class TestMrtFormat:
+    def test_record_roundtrip(self):
+        record = TraceRecord(
+            type="A",
+            timestamp=12.5,
+            peer_as=3356,
+            prefix=Prefix.from_string("10.0.0.0/24"),
+            as_path=ASPath([3356, 15169]),
+        )
+        assert TraceRecord.from_line(record.to_line()) == record
+
+    def test_withdrawal_record(self):
+        record = TraceRecord(
+            type="W", timestamp=1.0, peer_as=2, prefix=Prefix.from_string("10.0.0.0/24")
+        )
+        assert "W|" in record.to_line()
+
+    def test_invalid_records(self):
+        with pytest.raises(ValueError):
+            TraceRecord(type="X", timestamp=0.0, peer_as=1)
+        with pytest.raises(ValueError):
+            TraceRecord(type="A", timestamp=0.0, peer_as=1)  # missing prefix/path
+        with pytest.raises(ValueError):
+            TraceRecord.from_line("bad line")
+
+    def test_writer_reader_roundtrip_via_file_object(self):
+        buffer = io.StringIO()
+        records = [
+            TraceRecord(type="W", timestamp=float(i), peer_as=2,
+                        prefix=Prefix.from_string(f"10.0.{i}.0/24"))
+            for i in range(5)
+        ]
+        writer = TraceWriter(buffer)
+        writer.write_all(records)
+        buffer.seek(0)
+        read_back = TraceReader(buffer).read_all()
+        assert read_back == records
+
+    def test_message_conversion_roundtrip(self):
+        messages = [
+            Update.withdraw(1.0, 2, Prefix.from_string("10.0.0.0/24")),
+            Update.announce(
+                2.0,
+                2,
+                Prefix.from_string("10.0.1.0/24"),
+                __import__("repro.bgp.attributes", fromlist=["PathAttributes"]).PathAttributes(
+                    as_path=ASPath([2, 6]), next_hop=2
+                ),
+            ),
+        ]
+        records = messages_to_records(messages)
+        back = records_to_messages(records)
+        assert len(back) == 2
+        assert back[0].withdrawals and back[1].announcements
+
+
+class TestPopularity:
+    def test_known_asns(self):
+        assert is_popular_asn(15169)
+        assert organization_of(15169) == "Google"
+        assert not is_popular_asn(64512)
+        assert len(POPULAR_ORGANIZATIONS) == 15
+        assert len(all_popular_asns()) >= 15
+
+
+class TestCollectors:
+    def test_fleet_shape(self):
+        fleet = build_collector_fleet(peer_count=50, seed=1, flapping_peers=3)
+        peers = [peer for collector in fleet for peer in collector.peers]
+        assert len(peers) == 50
+        assert sum(1 for peer in peers if peer.flapping) == 3
+        assert len(all_peers(fleet, exclude_flapping=True)) == 47
+        assert all(peer.table_size >= 4000 for peer in peers)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            build_collector_fleet(peer_count=0)
+
+
+class TestSessionTopology:
+    def test_structure_and_rib(self):
+        topology = SessionTopology(SessionTopologyConfig(total_prefixes=2000, seed=1))
+        assert topology.prefix_count == 2000
+        # Every RIB path starts at the peer AS.
+        for path in list(topology.rib.values())[:100]:
+            assert path.first_hop == topology.peer_as
+        counts = topology.link_prefix_counts()
+        assert sum(1 for c in counts.values() if c > 0) > 10
+
+    def test_prefixes_below_and_via_link(self):
+        topology = SessionTopology(SessionTopologyConfig(total_prefixes=500, seed=2))
+        counts = topology.link_prefix_counts()
+        link = max(counts, key=counts.get)
+        child = topology.child_of_link(link)
+        via = topology.prefixes_via_link(link)
+        below = topology.prefixes_below(child)
+        assert set(via) == set(below)
+        assert len(via) == counts[link]
+
+    def test_reroute_path_avoids_failed_subtree(self):
+        topology = SessionTopology(
+            SessionTopologyConfig(total_prefixes=500, seed=3, alternate_probability=1.0)
+        )
+        counts = topology.link_prefix_counts()
+        link = max(counts, key=counts.get)
+        child = topology.child_of_link(link)
+        subtree = topology.subtree(child)
+        prefixes = topology.prefixes_below(child)
+        rerouted = topology.reroute_path(topology.origin_of(prefixes[0]), child, subtree)
+        if rerouted is not None:
+            links = rerouted.links()
+            canonical = link if link[0] <= link[1] else (link[1], link[0])
+            assert canonical not in links
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SessionTopologyConfig(total_prefixes=0)
+
+
+class TestSyntheticTrace:
+    def test_generation_and_consistency(self):
+        config = SyntheticTraceConfig(
+            peer_count=3, duration_days=5, min_table_size=2000, max_table_size=6000,
+            noise_rate_per_second=0.0, seed=5,
+        )
+        trace = SyntheticTraceGenerator(config).generate()
+        assert len(trace.peers) == 3
+        for burst in trace.bursts:
+            assert burst.size >= config.burst_size_minimum
+            rib = trace.rib_of(burst.peer.peer_as)
+            # Withdrawn prefixes existed in the pre-trace RIB.
+            assert burst.withdrawn_prefixes <= set(rib)
+            # Withdrawn prefixes all crossed the failed link.
+            failed = burst.failed_link
+            sample = list(burst.withdrawn_prefixes)[:50]
+            assert all(failed in rib[p].links() for p in sample)
+
+    def test_single_burst_generation(self):
+        generator = SyntheticTraceGenerator(SyntheticTraceConfig(seed=9))
+        topology = SessionTopology(SessionTopologyConfig(total_prefixes=5000, seed=9))
+        burst = generator.generate_burst(topology, target_size=2000, rng=random.Random(1))
+        assert burst is not None
+        assert burst.size >= 1500
+        assert burst.duration > 0
+
+    def test_determinism(self):
+        config = SyntheticTraceConfig(
+            peer_count=2, duration_days=3, min_table_size=2000, max_table_size=4000,
+            noise_rate_per_second=0.0, seed=11,
+        )
+        first = SyntheticTraceGenerator(config).generate()
+        second = SyntheticTraceGenerator(config).generate()
+        assert [b.size for b in first.bursts] == [b.size for b in second.bursts]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(peer_count=0)
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(withdrawal_fraction=0.0)
+
+
+class TestBurstExtraction:
+    def _stream(self, sizes_and_gaps):
+        """Build a stream of withdrawal messages: bursts separated by silence."""
+        messages = []
+        clock = 0.0
+        prefix_index = 0
+        for size, gap in sizes_and_gaps:
+            for _ in range(size):
+                prefix = Prefix((10 << 24) + prefix_index * 256, 24)
+                prefix_index += 1
+                messages.append(Update.withdraw(clock, 2, prefix))
+                clock += 0.002
+            clock += gap
+        return messages
+
+    def test_extracts_expected_bursts(self):
+        extractor = BurstExtractor(BurstExtractionConfig(start_threshold=100, stop_threshold=2))
+        messages = self._stream([(500, 60.0), (300, 60.0)])
+        bursts = extractor.extract(messages, peer_as=2)
+        assert len(bursts) == 2
+        assert bursts[0].size == pytest.approx(500, abs=5)
+        assert bursts[1].size == pytest.approx(300, abs=5)
+
+    def test_quiet_stream_has_no_burst(self):
+        extractor = BurstExtractor()
+        messages = self._stream([(100, 60.0)])
+        assert extractor.extract(messages, peer_as=2) == []
+
+    def test_head_middle_tail_sums_to_one(self):
+        extractor = BurstExtractor(BurstExtractionConfig(start_threshold=50, stop_threshold=2))
+        messages = self._stream([(400, 60.0)])
+        burst = extractor.extract(messages, peer_as=2)[0]
+        head, middle, tail = burst.head_middle_tail()
+        assert head + middle + tail == pytest.approx(1.0)
+
+    def test_popular_origin_detection(self):
+        rib = {Prefix.from_string("10.0.0.0/24"): ASPath([2, 15169])}
+        burst = Burst(
+            peer_as=2,
+            messages=[Update.withdraw(0.0, 2, Prefix.from_string("10.0.0.0/24"))],
+            start_time=0.0,
+            end_time=1.0,
+        )
+        assert burst.touches_popular_origin(rib)
+        assert not burst.touches_popular_origin({})
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BurstExtractionConfig(start_threshold=5, stop_threshold=9)
