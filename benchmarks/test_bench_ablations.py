@@ -6,6 +6,8 @@
   than 1,500 prefixes; the ablation sweeps the threshold.
 """
 
+import pytest
+
 from repro.core.fit_score import FitScoreConfig
 from repro.core.inference import InferenceConfig
 from repro.experiments import fig6, fig7
@@ -16,6 +18,7 @@ def _config_with_weights(ws_weight: float, ps_weight: float) -> InferenceConfig:
     return InferenceConfig(fit_score=FitScoreConfig(ws_weight=ws_weight, ps_weight=ps_weight))
 
 
+@pytest.mark.slow
 def test_bench_ablation_fit_score_weights(benchmark, corpus):
     def run_ablation():
         results = {}
@@ -47,6 +50,7 @@ def test_bench_ablation_fit_score_weights(benchmark, corpus):
     assert results["3:1"][Quadrant.BOTTOM_RIGHT] == 0.0
 
 
+@pytest.mark.slow
 def test_bench_ablation_encoding_threshold(benchmark, corpus):
     subset = corpus[:8]
 

@@ -1,8 +1,11 @@
 """Benchmarks regenerating Fig. 2(a) and Fig. 2(b) (burst statistics)."""
 
+import pytest
+
 from repro.experiments import fig2
 
 
+@pytest.mark.slow
 def test_bench_fig2a_burst_frequency(benchmark, month_trace):
     result = benchmark.pedantic(
         fig2.run,
@@ -24,6 +27,7 @@ def test_bench_fig2a_burst_frequency(benchmark, month_trace):
     assert result.median_bursts(1, 5000) >= 0.0
 
 
+@pytest.mark.slow
 def test_bench_fig2b_burst_durations(benchmark, month_trace):
     result = benchmark.pedantic(
         fig2.run,

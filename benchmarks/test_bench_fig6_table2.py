@@ -1,9 +1,12 @@
 """Benchmarks regenerating Fig. 6 (localisation) and Table 2 (prediction)."""
 
+import pytest
+
 from repro.experiments import fig6, table2
 from repro.metrics.quadrants import Quadrant
 
 
+@pytest.mark.slow
 def test_bench_fig6_localisation_quadrants(benchmark, corpus):
     result = benchmark.pedantic(fig6.run, args=(corpus,), rounds=1, iterations=1)
     print()

@@ -1,8 +1,11 @@
 """Benchmarks regenerating Fig. 7 (encoding) and Fig. 8 (learning time)."""
 
+import pytest
+
 from repro.experiments import fig7, fig8
 
 
+@pytest.mark.slow
 def test_bench_fig7_encoding_performance(benchmark, corpus):
     subset = corpus[:12]
     result = benchmark.pedantic(

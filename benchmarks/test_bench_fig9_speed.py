@@ -1,8 +1,11 @@
 """Benchmarks regenerating Fig. 9(a) (case study) and the §6.5 rule counts."""
 
+import pytest
+
 from repro.experiments import fig9, rerouting_speed
 
 
+@pytest.mark.slow
 def test_bench_fig9_case_study(benchmark):
     result = benchmark.pedantic(
         fig9.run, kwargs={"prefix_count": 120000}, rounds=1, iterations=1

@@ -1,8 +1,11 @@
 """Benchmark regenerating the §6.2.2 / §6.3.2 simulation validation."""
 
+import pytest
+
 from repro.experiments import simulation_validation
 
 
+@pytest.mark.slow
 def test_bench_simulation_validation(benchmark):
     result = benchmark.pedantic(
         simulation_validation.run,

@@ -91,11 +91,8 @@ class SwiftController:
         self.switch.program(self.router.forwarding.rules(), at=0.0)
         self._encoded = encoded
 
-    def receive(self, message: BGPMessage) -> Optional[float]:
-        """Relay one BGP message; returns the reroute completion time if any."""
-        action = self.router.receive(message)
-        if action is None:
-            return None
+    def _program_switch(self, action: RerouteAction) -> float:
+        """Push one reroute action's rules to the switch; returns completion."""
         completion = self.switch.program(
             list(action.rules),
             at=action.timestamp + self.controller_overhead_seconds,
@@ -103,14 +100,24 @@ class SwiftController:
         self.reroute_completions.append((action, completion))
         return completion
 
+    def receive(self, message: BGPMessage) -> Optional[float]:
+        """Relay one BGP message; returns the reroute completion time if any."""
+        action = self.router.receive(message)
+        if action is None:
+            return None
+        return self._program_switch(action)
+
     def receive_all(self, messages: Sequence[BGPMessage]) -> List[float]:
-        """Relay a stream of messages; returns every reroute completion time."""
-        completions: List[float] = []
-        for message in messages:
-            completion = self.receive(message)
-            if completion is not None:
-                completions.append(completion)
-        return completions
+        """Relay a stream of messages; returns every reroute completion time.
+
+        The messages are handed to the router as one batch (the controller of
+        §7 drains its BGP socket in bulk anyway); switch programming happens
+        per resulting reroute action, timed from the action's own timestamp.
+        """
+        return [
+            self._program_switch(action)
+            for action in self.router.receive_batch(messages)
+        ]
 
     def forward(self, destination: int) -> Optional[int]:
         """Data-plane next-hop for ``destination`` through the two devices."""

@@ -20,7 +20,7 @@
 from repro.core.backup import BackupComputer, BackupSelection, ReroutingPolicy
 from repro.core.burst_detection import BurstDetector, BurstDetectorConfig, BurstState
 from repro.core.encoding import EncodedTags, EncoderConfig, TagEncoder
-from repro.core.fit_score import FitScoreCalculator, FitScoreConfig, LinkScore
+from repro.core.fit_score import FitScoreCalculator, FitScoreConfig, LinkPrefixIndex, LinkScore
 from repro.core.history import HistoryModel, TriggeringSchedule
 from repro.core.inference import (
     InferenceConfig,
@@ -45,6 +45,7 @@ __all__ = [
     "InferenceConfig",
     "InferenceEngine",
     "InferenceResult",
+    "LinkPrefixIndex",
     "LinkScore",
     "LoopAlert",
     "LoopGuard",

@@ -15,20 +15,34 @@ The paper calibrates ``wWS = 3 * wPS`` (§4.2).  For sets of links sharing an
 endpoint (concurrent failures), WS and PS generalise by summing the
 individual ``W(l, t)`` and ``P(l, t)`` terms (§4.2).
 
-:class:`FitScoreCalculator` maintains these quantities incrementally as
-withdrawals and updates are fed in, so that computing the scores at any point
-of the burst costs O(number of tracked links).
+Two classes implement the bookkeeping:
+
+* :class:`LinkPrefixIndex` is a *persistent*, incrementally-maintained view
+  of one session RIB: prefix -> AS links, link -> routed-prefix count and —
+  crucially — the **link -> prefix reverse index** that lets SWIFT expand an
+  inferred link into its affected prefixes without scanning the RIB.  The
+  :class:`~repro.core.inference.InferenceEngine` keeps one index alive across
+  bursts and feeds every announcement / expired withdrawal into it.
+* :class:`FitScoreCalculator` holds the *burst-local* state (withdrawn
+  prefixes, per-link withdrawal counts, routed-count deltas) as an overlay on
+  top of an index.  Built via :meth:`FitScoreCalculator.from_index` it costs
+  O(1) — no RIB scan — and every query it answers is proportional to the
+  burst footprint (links with at least one withdrawal), not to the RIB size.
+
+Constructing ``FitScoreCalculator(rib)`` directly still works for standalone
+use (e.g. the simulation-validation harness): it simply builds a private
+index from the RIB first.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.bgp.attributes import ASPath
 from repro.bgp.prefix import Prefix
 
-__all__ = ["FitScoreCalculator", "FitScoreConfig", "LinkScore"]
+__all__ = ["FitScoreCalculator", "FitScoreConfig", "LinkPrefixIndex", "LinkScore"]
 
 Link = Tuple[int, int]
 
@@ -75,8 +89,118 @@ class LinkScore:
         return self.links[0]
 
 
+class LinkPrefixIndex:
+    """Persistent link <-> prefix view of one session's Adj-RIB-In.
+
+    Maintains, under streaming announcements and withdrawals:
+
+    * ``links_of_prefix``: prefix -> canonical AS links of its current path;
+    * ``routed_for_link``: link -> number of prefixes currently routed over it
+      (the ``P(l)`` baseline before any burst-local withdrawals);
+    * ``prefixes_of_link``: link -> set of prefixes whose current path crosses
+      it (the reverse index behind :meth:`prefixes_via`).
+
+    The index is built once per session — O(RIB) — and every mutation after
+    that costs O(path length).  ``local_as`` / ``peer_as`` add the implicit
+    first link between the local router and the session peer to every path,
+    matching the paper's Fig. 4 which scores link (1, 2).
+    """
+
+    __slots__ = ("_local_prefix_link", "links_of_prefix", "routed_for_link", "prefixes_of_link")
+
+    def __init__(
+        self,
+        rib: Optional[Mapping[Prefix, ASPath]] = None,
+        local_as: Optional[int] = None,
+        peer_as: Optional[int] = None,
+    ) -> None:
+        self._local_prefix_link: Optional[Link] = None
+        if local_as is not None and peer_as is not None:
+            self._local_prefix_link = _canonical((local_as, peer_as))
+        self.links_of_prefix: Dict[Prefix, Tuple[Link, ...]] = {}
+        self.routed_for_link: Dict[Link, int] = {}
+        self.prefixes_of_link: Dict[Link, Set[Prefix]] = {}
+        if rib:
+            for prefix, path in rib.items():
+                self.set_path(prefix, path)
+
+    # -- mutation -----------------------------------------------------------
+
+    def set_path(self, prefix: Prefix, path: ASPath) -> Tuple[Link, ...]:
+        """Record that ``prefix`` is now routed over ``path``.
+
+        Returns the links of the *previous* path (empty tuple when the prefix
+        was unknown), which callers overlaying burst state need to fix their
+        deltas.
+        """
+        return self._set_links(prefix, self.links_for_path(path))
+
+    def remove_prefix(self, prefix: Prefix) -> Tuple[Link, ...]:
+        """Drop ``prefix`` from the index (withdrawn outside any burst)."""
+        return self._set_links(prefix, ())
+
+    def _set_links(self, prefix: Prefix, new_links: Tuple[Link, ...]) -> Tuple[Link, ...]:
+        routed = self.routed_for_link
+        by_link = self.prefixes_of_link
+        old_links = self.links_of_prefix.get(prefix, ())
+        for link in old_links:
+            # Prune dead links so a long-lived index stays proportional to
+            # the live RIB rather than to every link ever seen.
+            count = routed.get(link, 0) - 1
+            if count > 0:
+                routed[link] = count
+            else:
+                routed.pop(link, None)
+            members = by_link.get(link)
+            if members is not None:
+                members.discard(prefix)
+                if not members:
+                    del by_link[link]
+        if new_links:
+            self.links_of_prefix[prefix] = new_links
+            for link in new_links:
+                routed[link] = routed.get(link, 0) + 1
+                members = by_link.get(link)
+                if members is None:
+                    by_link[link] = {prefix}
+                else:
+                    members.add(prefix)
+        else:
+            self.links_of_prefix.pop(prefix, None)
+        return old_links
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.links_of_prefix)
+
+    def prefixes_via(self, links: Iterable[Link]) -> FrozenSet[Prefix]:
+        """Union of the per-link prefix sets — O(result), not O(RIB)."""
+        result: Set[Prefix] = set()
+        by_link = self.prefixes_of_link
+        for link in links:
+            members = by_link.get(_canonical(link))
+            if members:
+                result |= members
+        return frozenset(result)
+
+    def links_for_path(self, path: ASPath) -> Tuple[Link, ...]:
+        """Canonical, deduplicated links of ``path`` (plus the local link)."""
+        links = [_canonical(link) for link in path.links()]
+        if self._local_prefix_link is not None and len(path) >= 1:
+            links.insert(0, self._local_prefix_link)
+        # Deduplicate while keeping order (paths with prepending repeat links).
+        seen: Set[Link] = set()
+        unique: List[Link] = []
+        for link in links:
+            if link not in seen:
+                seen.add(link)
+                unique.append(link)
+        return tuple(unique)
+
+
 class FitScoreCalculator:
-    """Incrementally maintains W(l, t), P(l, t) and the derived scores.
+    """Burst-local W/P bookkeeping on top of a :class:`LinkPrefixIndex`.
 
     Parameters
     ----------
@@ -85,7 +209,8 @@ class FitScoreCalculator:
         must include the peer AS as first hop; the link between the SWIFTED
         router and the peer itself is not part of the path and therefore not
         scored (its failure would be a *local* failure, handled by existing
-        fast-reroute techniques, not by SWIFT).
+        fast-reroute techniques, not by SWIFT).  Ignored when ``index`` is
+        given.
     config:
         Fit-score weights.
     local_as:
@@ -94,35 +219,43 @@ class FitScoreCalculator:
         Fig. 4 which scores link (1, 2).
     peer_as:
         The peer AS of the session (needed only when ``local_as`` is given).
+    index:
+        An existing :class:`LinkPrefixIndex` to overlay instead of building
+        one from ``rib``.  The calculator *shares* (and, on announcements,
+        mutates) the index; burst-local withdrawal state lives in overlay
+        dictionaries that are simply dropped when the burst ends.
     """
 
     def __init__(
         self,
-        rib: Mapping[Prefix, ASPath],
+        rib: Optional[Mapping[Prefix, ASPath]] = None,
         config: Optional[FitScoreConfig] = None,
         local_as: Optional[int] = None,
         peer_as: Optional[int] = None,
+        index: Optional[LinkPrefixIndex] = None,
     ) -> None:
         self.config = config or FitScoreConfig()
-        self._local_prefix_link: Optional[Link] = None
-        if local_as is not None and peer_as is not None:
-            self._local_prefix_link = _canonical((local_as, peer_as))
-
-        # Static view of the pre-burst paths.
-        self._links_of_prefix: Dict[Prefix, Tuple[Link, ...]] = {}
-        # Current counters.
+        if index is None:
+            index = LinkPrefixIndex(rib or {}, local_as=local_as, peer_as=peer_as)
+        self._index = index
+        # Burst-local overlays: withdrawal counters plus the adjustment the
+        # burst's withdrawals make to the index's routed counts.
         self._withdrawn_for_link: Dict[Link, int] = {}
-        self._routed_for_link: Dict[Link, int] = {}
+        self._routed_delta: Dict[Link, int] = {}
         self._withdrawn_prefixes: Set[Prefix] = set()
         self._total_withdrawals = 0
 
-        for prefix, path in rib.items():
-            links = self._links_for_path(path)
-            if not links:
-                continue
-            self._links_of_prefix[prefix] = links
-            for link in links:
-                self._routed_for_link[link] = self._routed_for_link.get(link, 0) + 1
+    @classmethod
+    def from_index(
+        cls, index: LinkPrefixIndex, config: Optional[FitScoreConfig] = None
+    ) -> "FitScoreCalculator":
+        """O(1) construction over an already-maintained index (no RIB scan)."""
+        return cls(config=config, index=index)
+
+    @property
+    def index(self) -> LinkPrefixIndex:
+        """The (possibly shared) link/prefix index backing this calculator."""
+        return self._index
 
     # -- feeding the stream ----------------------------------------------------
 
@@ -135,16 +268,33 @@ class FitScoreCalculator:
         exactly how unrelated noise degrades the metric in the paper.
         Duplicate withdrawals of the same prefix are counted once.
         """
-        if prefix in self._withdrawn_prefixes:
-            return
-        self._withdrawn_prefixes.add(prefix)
-        self._total_withdrawals += 1
-        links = self._links_of_prefix.get(prefix)
-        if not links:
-            return
-        for link in links:
-            self._withdrawn_for_link[link] = self._withdrawn_for_link.get(link, 0) + 1
-            self._routed_for_link[link] = max(0, self._routed_for_link.get(link, 0) - 1)
+        self.record_withdrawals((prefix,))
+
+    def record_withdrawals(self, prefixes: Iterable[Prefix]) -> int:
+        """Batched :meth:`record_withdrawal`; returns the prefixes processed.
+
+        One call per UPDATE message (rather than one per prefix) keeps the
+        per-prefix Python overhead of the hot path down to a few dictionary
+        operations.
+        """
+        seen = self._withdrawn_prefixes
+        links_of_prefix = self._index.links_of_prefix
+        withdrawn = self._withdrawn_for_link
+        delta = self._routed_delta
+        processed = 0
+        for prefix in prefixes:
+            processed += 1
+            if prefix in seen:
+                continue
+            seen.add(prefix)
+            self._total_withdrawals += 1
+            links = links_of_prefix.get(prefix)
+            if not links:
+                continue
+            for link in links:
+                withdrawn[link] = withdrawn.get(link, 0) + 1
+                delta[link] = delta.get(link, 0) - 1
+        return processed
 
     def record_update(self, prefix: Prefix, new_path: ASPath) -> None:
         """Account for a path update (implicit withdrawal of the old path).
@@ -152,23 +302,21 @@ class FitScoreCalculator:
         The prefix stops counting towards ``P(l, t)`` for the links of its old
         path and starts counting for the links of its new path.  If the prefix
         had been withdrawn earlier in the burst, the re-announcement clears
-        the withdrawal (it no longer counts in ``W``).
+        the withdrawal (it no longer counts in ``W``).  The underlying index
+        is updated in place, so an engine sharing it sees the new path too.
         """
-        old_links = self._links_of_prefix.get(prefix, ())
         if prefix in self._withdrawn_prefixes:
+            old_links = self._index.links_of_prefix.get(prefix, ())
             self._withdrawn_prefixes.discard(prefix)
             self._total_withdrawals = max(0, self._total_withdrawals - 1)
+            withdrawn = self._withdrawn_for_link
+            delta = self._routed_delta
             for link in old_links:
-                self._withdrawn_for_link[link] = max(
-                    0, self._withdrawn_for_link.get(link, 0) - 1
-                )
-        else:
-            for link in old_links:
-                self._routed_for_link[link] = max(0, self._routed_for_link.get(link, 0) - 1)
-        new_links = self._links_for_path(new_path)
-        self._links_of_prefix[prefix] = new_links
-        for link in new_links:
-            self._routed_for_link[link] = self._routed_for_link.get(link, 0) + 1
+                withdrawn[link] = max(0, withdrawn.get(link, 0) - 1)
+                # The index is about to move the prefix off its old links;
+                # cancel the withdrawal's decrement so the two do not stack.
+                delta[link] = delta.get(link, 0) + 1
+        self._index.set_path(prefix, new_path)
 
     # -- queries ----------------------------------------------------------------
 
@@ -184,7 +332,7 @@ class FitScoreCalculator:
 
     def tracked_links(self) -> List[Link]:
         """Every link appearing in at least one known path."""
-        links: Set[Link] = set(self._routed_for_link) | set(self._withdrawn_for_link)
+        links: Set[Link] = set(self._index.routed_for_link) | set(self._withdrawn_for_link)
         return sorted(links)
 
     def withdrawal_count(self, link: Link) -> int:
@@ -192,8 +340,13 @@ class FitScoreCalculator:
         return self._withdrawn_for_link.get(_canonical(link), 0)
 
     def still_routed_count(self, link: Link) -> int:
-        """``P(l, t)`` for one link."""
-        return self._routed_for_link.get(_canonical(link), 0)
+        """``P(l, t)`` for one link: the index baseline plus the burst delta."""
+        canonical = _canonical(link)
+        return max(
+            0,
+            self._index.routed_for_link.get(canonical, 0)
+            + self._routed_delta.get(canonical, 0),
+        )
 
     def withdrawal_share(self, link: Link) -> float:
         """``WS(l, t)``; 0 when no withdrawal has been received."""
@@ -279,31 +432,12 @@ class FitScoreCalculator:
 
         This is the set SWIFT reroutes when those links are inferred as
         failed; it includes both already-withdrawn and not-yet-withdrawn
-        prefixes whose pre-burst path crossed the links.
+        prefixes whose pre-burst path crossed the links.  Answered from the
+        reverse index as a union of per-link prefix sets — O(result size).
         """
-        wanted = {_canonical(link) for link in links}
-        result: Set[Prefix] = set()
-        for prefix, prefix_links in self._links_of_prefix.items():
-            for link in prefix_links:
-                if link in wanted:
-                    result.add(prefix)
-                    break
-        return frozenset(result)
+        return self._index.prefixes_via(links)
 
     # -- internals ----------------------------------------------------------------
-
-    def _links_for_path(self, path: ASPath) -> Tuple[Link, ...]:
-        links = [ _canonical(link) for link in path.links() ]
-        if self._local_prefix_link is not None and len(path) >= 1:
-            links.insert(0, self._local_prefix_link)
-        # Deduplicate while keeping order (paths with prepending repeat links).
-        seen: Set[Link] = set()
-        unique: List[Link] = []
-        for link in links:
-            if link not in seen:
-                seen.add(link)
-                unique.append(link)
-        return tuple(unique)
 
     def _combine(self, ws: float, ps: float) -> float:
         if ws <= 0.0 or ps <= 0.0:

@@ -1,9 +1,12 @@
 """The SWIFT inference engine (§4).
 
 The engine consumes the BGP message stream of one peering session.  It
-maintains a :class:`~repro.core.burst_detection.BurstDetector` and, while a
-burst is in progress, a :class:`~repro.core.fit_score.FitScoreCalculator`
-seeded with the pre-burst Adj-RIB-In.  At every triggering threshold it:
+maintains a :class:`~repro.core.burst_detection.BurstDetector` and a
+persistent :class:`~repro.core.fit_score.LinkPrefixIndex` — the link -> prefix
+reverse index of the session RIB — which it updates incrementally as
+announcements stream in and as quiet-time withdrawals age out.  When a burst
+starts, a :class:`~repro.core.fit_score.FitScoreCalculator` is overlaid on
+the live index in O(1) (no RIB scan); at every triggering threshold it:
 
 1. scores every candidate link and greedily aggregates links sharing an
    endpoint while the aggregate fit score does not decrease (§4.2,
@@ -11,12 +14,20 @@ seeded with the pre-burst Adj-RIB-In.  At every triggering threshold it:
 2. keeps every candidate (single link or aggregate) whose fit score equals
    the maximum — the conservative tie handling of §4.2;
 3. predicts the affected prefixes as *all* prefixes whose current path
-   traverses any inferred link (§3.1, conservative prediction);
+   traverses any inferred link (§3.1, conservative prediction), answered
+   from the reverse index as a union of per-link prefix sets;
 4. checks the prediction against the history model / triggering schedule and
    either emits the inference or waits for the next threshold (§4.2).
 
+Every step of the burst hot path is therefore proportional to the burst's
+footprint (withdrawn prefixes and their links), not to the RIB size — the
+property that lets SWIFT answer within ~2 s of the burst start (§4, Fig. 9).
+
 The engine is deliberately independent from the data-plane machinery so it
-can be evaluated on traces (as in §6) without a router attached.
+can be evaluated on traces (as in §6) without a router attached.  Messages
+can be fed one at a time (:meth:`InferenceEngine.process_message`) or in
+batches (:meth:`InferenceEngine.process_batch`), which routers and the
+experiment drivers prefer to amortise per-message Python overhead.
 """
 
 from __future__ import annotations
@@ -29,7 +40,7 @@ from repro.bgp.attributes import ASPath
 from repro.bgp.messages import BGPMessage, Update
 from repro.bgp.prefix import Prefix
 from repro.core.burst_detection import BurstDetector, BurstDetectorConfig
-from repro.core.fit_score import FitScoreCalculator, FitScoreConfig, LinkScore
+from repro.core.fit_score import FitScoreCalculator, FitScoreConfig, LinkPrefixIndex, LinkScore
 from repro.core.history import HistoryModel, TriggeringSchedule
 
 __all__ = [
@@ -40,6 +51,12 @@ __all__ = [
 ]
 
 Link = Tuple[int, int]
+
+#: Signature of a pluggable calculator factory: given the engine's current
+#: RIB view it returns a fit-score calculator.  Used by the parity tests and
+#: speedup benchmarks to run the reference (full-scan) implementation through
+#: the exact same engine logic.
+CalculatorFactory = Callable[[Mapping[Prefix, ASPath]], FitScoreCalculator]
 
 
 @dataclass(frozen=True)
@@ -126,6 +143,9 @@ class InferenceEngine:
     ----------
     rib:
         Pre-burst Adj-RIB-In snapshot (prefix -> AS path) of the session.
+        The engine builds its link/prefix index from it once — O(RIB) — and
+        maintains it incrementally afterwards, so burst starts and triggering
+        thresholds never rescan the RIB.
     config:
         Inference configuration; defaults to the paper's settings.
     history:
@@ -134,6 +154,11 @@ class InferenceEngine:
     local_as / peer_as:
         When provided, the implicit first AS link between the local router
         and the session peer is also considered by the scoring.
+    calculator_factory:
+        Optional hook replacing the O(1) overlay calculator with a custom
+        one (called with the engine's current RIB view at every burst start).
+        Exists for the reference-parity tests and benchmarks; production use
+        should leave it unset.
     """
 
     def __init__(
@@ -143,14 +168,18 @@ class InferenceEngine:
         history: Optional[HistoryModel] = None,
         local_as: Optional[int] = None,
         peer_as: Optional[int] = None,
+        calculator_factory: Optional[CalculatorFactory] = None,
     ) -> None:
         self.config = config or InferenceConfig()
         self.history = history
         self._rib = dict(rib)
         self._local_as = local_as
         self._peer_as = peer_as
+        self._index = LinkPrefixIndex(self._rib, local_as=local_as, peer_as=peer_as)
+        self._calculator_factory = calculator_factory
         self.detector = BurstDetector(self.config.detector)
         self._calculator: Optional[FitScoreCalculator] = None
+        self._calculator_shares_index = False
         self._burst_start: Optional[float] = None
         self._withdrawals_in_burst = 0
         self._next_trigger: Optional[int] = self.config.schedule.first_trigger
@@ -175,37 +204,55 @@ class InferenceEngine:
             return None
         accepted: Optional[InferenceResult] = None
 
+        # Age the quiet-time withdrawal buffer on *every* message timestamp —
+        # announcement-only traffic must also expire stale entries, otherwise
+        # a later burst would replay them and backdate its start time.
+        if not self._in_burst:
+            self._expire_recent(message.timestamp)
+
         if message.withdrawals:
             event = self.detector.observe_withdrawals(
                 message.timestamp, len(message.withdrawals)
             )
-            if event is not None and event.kind == "start":
-                # The buffered withdrawals of the detection window belong to
-                # the burst; _start_burst replays them into the calculator.
-                self._start_burst(event.timestamp)
+            if event is not None:
+                if event.kind == "start":
+                    # The buffered withdrawals of the detection window belong
+                    # to the burst; _start_burst replays them into the
+                    # calculator.
+                    self._start_burst(event.timestamp)
+                else:
+                    # A withdrawal arriving after a long quiet gap: the old
+                    # burst is over, and this withdrawal is quiet-time traffic
+                    # (possibly the first sign of a *new* burst) — it must not
+                    # be attributed to the stale calculator.
+                    self._end_burst(event.timestamp)
             if self._in_burst:
-                for prefix in message.withdrawals:
-                    self._calculator.record_withdrawal(prefix)
-                    self._withdrawals_in_burst += 1
+                self._withdrawals_in_burst += self._calculator.record_withdrawals(
+                    message.withdrawals
+                )
                 accepted = self._maybe_infer(message.timestamp)
             else:
                 for prefix in message.withdrawals:
                     self._recent_withdrawals.append((message.timestamp, prefix))
-                self._expire_recent(message.timestamp)
         else:
             event = self.detector.observe_time(message.timestamp)
             if event is not None and event.kind == "end":
                 self._end_burst(message.timestamp)
 
         if message.announcements:
-            # Keep the RIB current; during a burst the calculator also follows
-            # the implicit withdrawals carried by path changes.
+            # Keep the RIB view and the link/prefix index current; during a
+            # burst the calculator also follows the implicit withdrawals
+            # carried by path changes.
             for announcement in message.announcements:
+                prefix = announcement.prefix
+                path = announcement.attributes.as_path
                 if self._in_burst:
-                    self._calculator.record_update(
-                        announcement.prefix, announcement.attributes.as_path
-                    )
-                self._rib[announcement.prefix] = announcement.attributes.as_path
+                    self._calculator.record_update(prefix, path)
+                    if not self._calculator_shares_index:
+                        self._index.set_path(prefix, path)
+                else:
+                    self._index.set_path(prefix, path)
+                self._rib[prefix] = path
 
         if (
             self._in_burst
@@ -214,16 +261,29 @@ class InferenceEngine:
             self._end_burst(message.timestamp)
         return accepted
 
+    def process_batch(
+        self, messages: Iterable[BGPMessage]
+    ) -> List[InferenceResult]:
+        """Feed a batch of messages; returns every accepted inference.
+
+        Routers and experiment drivers should prefer this over per-message
+        calls: the loop binds the hot method once and withdrawal-heavy
+        UPDATEs inside are already recorded in bulk.  The messages are
+        iterated exactly once, so lazy streams are fine.
+        """
+        accepted: List[InferenceResult] = []
+        process = self.process_message
+        for message in messages:
+            result = process(message)
+            if result is not None:
+                accepted.append(result)
+        return accepted
+
     def process_stream(
         self, messages: Iterable[BGPMessage]
     ) -> List[InferenceResult]:
         """Feed a whole stream; returns every accepted inference."""
-        accepted: List[InferenceResult] = []
-        for message in messages:
-            result = self.process_message(message)
-            if result is not None:
-                accepted.append(result)
-        return accepted
+        return self.process_batch(messages)
 
     def force_inference(self, timestamp: float) -> Optional[InferenceResult]:
         """Run an inference immediately, bypassing the triggering schedule.
@@ -256,6 +316,11 @@ class InferenceEngine:
         """The engine's view of the session RIB (pre-burst + later updates)."""
         return dict(self._rib)
 
+    @property
+    def index(self) -> LinkPrefixIndex:
+        """The persistent link/prefix index maintained by this engine."""
+        return self._index
+
     # -- internals ----------------------------------------------------------------
 
     def _expire_recent(self, now: float) -> None:
@@ -263,20 +328,27 @@ class InferenceEngine:
 
         Once a buffered withdrawal has aged out without a burst starting it is
         treated as ordinary churn: the prefix is also removed from the
-        engine's RIB view so future bursts start from an accurate snapshot.
+        engine's RIB view and index so future bursts start from an accurate
+        snapshot.
         """
         horizon = now - self.config.detector.window_seconds
         while self._recent_withdrawals and self._recent_withdrawals[0][0] < horizon:
             _, prefix = self._recent_withdrawals.popleft()
             self._rib.pop(prefix, None)
+            self._index.remove_prefix(prefix)
 
     def _start_burst(self, timestamp: float) -> None:
-        self._calculator = FitScoreCalculator(
-            self._rib,
-            config=self.config.fit_score,
-            local_as=self._local_as,
-            peer_as=self._peer_as,
-        )
+        if self._calculator_factory is not None:
+            self._calculator = self._calculator_factory(self._rib)
+            self._calculator_shares_index = (
+                getattr(self._calculator, "index", None) is self._index
+            )
+        else:
+            # O(1): overlay the live index instead of rescanning the RIB.
+            self._calculator = FitScoreCalculator.from_index(
+                self._index, config=self.config.fit_score
+            )
+            self._calculator_shares_index = True
         self._burst_start = (
             self._recent_withdrawals[0][0] if self._recent_withdrawals else timestamp
         )
@@ -285,15 +357,16 @@ class InferenceEngine:
         self._accepted_result = None
         # Replay the withdrawals of the detection window: they are part of the
         # burst even though they arrived before the detector fired.
-        while self._recent_withdrawals:
-            _, prefix = self._recent_withdrawals.popleft()
-            self._calculator.record_withdrawal(prefix)
-            self._withdrawals_in_burst += 1
+        if self._recent_withdrawals:
+            replay = [prefix for _, prefix in self._recent_withdrawals]
+            self._recent_withdrawals.clear()
+            self._withdrawals_in_burst += self._calculator.record_withdrawals(replay)
 
     def _end_burst(self, timestamp: float) -> None:
         if self.history is not None and self._withdrawals_in_burst > 0:
             self.history.record_burst(self._withdrawals_in_burst)
         self._calculator = None
+        self._calculator_shares_index = False
         self._burst_start = None
         self._withdrawals_in_burst = 0
         self._next_trigger = self.config.schedule.first_trigger

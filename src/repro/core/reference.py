@@ -1,0 +1,230 @@
+"""Reference (pre-index) fit-score implementation, kept for parity checks.
+
+:class:`ReferenceFitScoreCalculator` is the original full-scan implementation
+of the fit-score bookkeeping: it is seeded by scanning the entire RIB at
+construction time and answers :meth:`prefixes_via_links` by iterating every
+known prefix.  The production path
+(:class:`~repro.core.fit_score.FitScoreCalculator` overlaying a
+:class:`~repro.core.fit_score.LinkPrefixIndex`) replaced it because both of
+those costs are O(RIB) and sit on the inference hot path.
+
+The class is retained — verbatim in behaviour — for two purposes:
+
+* the parity tests plug it into :class:`~repro.core.inference.InferenceEngine`
+  via ``calculator_factory`` and assert that the engine emits *identical*
+  :class:`~repro.core.inference.InferenceResult` sequences with either
+  implementation;
+* the hot-path benchmarks measure the speedup of the index-based path
+  against it.
+
+Do not use it in production code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bgp.attributes import ASPath
+from repro.bgp.prefix import Prefix
+from repro.core.fit_score import FitScoreConfig, LinkScore
+
+__all__ = ["ReferenceFitScoreCalculator"]
+
+Link = Tuple[int, int]
+
+
+def _canonical(link: Link) -> Link:
+    """Canonical (sorted-endpoint) form of an AS link."""
+    return link if link[0] <= link[1] else (link[1], link[0])
+
+
+class ReferenceFitScoreCalculator:
+    """Full-scan W(l, t) / P(l, t) bookkeeping (the seed implementation)."""
+
+    def __init__(
+        self,
+        rib: Mapping[Prefix, ASPath],
+        config: Optional[FitScoreConfig] = None,
+        local_as: Optional[int] = None,
+        peer_as: Optional[int] = None,
+    ) -> None:
+        self.config = config or FitScoreConfig()
+        self._local_prefix_link: Optional[Link] = None
+        if local_as is not None and peer_as is not None:
+            self._local_prefix_link = _canonical((local_as, peer_as))
+
+        # Static view of the pre-burst paths.
+        self._links_of_prefix: Dict[Prefix, Tuple[Link, ...]] = {}
+        # Current counters.
+        self._withdrawn_for_link: Dict[Link, int] = {}
+        self._routed_for_link: Dict[Link, int] = {}
+        self._withdrawn_prefixes: Set[Prefix] = set()
+        self._total_withdrawals = 0
+
+        for prefix, path in rib.items():
+            links = self._links_for_path(path)
+            if not links:
+                continue
+            self._links_of_prefix[prefix] = links
+            for link in links:
+                self._routed_for_link[link] = self._routed_for_link.get(link, 0) + 1
+
+    # -- feeding the stream ----------------------------------------------------
+
+    def record_withdrawal(self, prefix: Prefix) -> None:
+        """Account for the withdrawal of ``prefix`` (duplicates counted once)."""
+        if prefix in self._withdrawn_prefixes:
+            return
+        self._withdrawn_prefixes.add(prefix)
+        self._total_withdrawals += 1
+        links = self._links_of_prefix.get(prefix)
+        if not links:
+            return
+        for link in links:
+            self._withdrawn_for_link[link] = self._withdrawn_for_link.get(link, 0) + 1
+            self._routed_for_link[link] = max(0, self._routed_for_link.get(link, 0) - 1)
+
+    def record_withdrawals(self, prefixes: Iterable[Prefix]) -> int:
+        """Batched :meth:`record_withdrawal` (engine compatibility shim)."""
+        processed = 0
+        for prefix in prefixes:
+            processed += 1
+            self.record_withdrawal(prefix)
+        return processed
+
+    def record_update(self, prefix: Prefix, new_path: ASPath) -> None:
+        """Account for a path update (implicit withdrawal of the old path)."""
+        old_links = self._links_of_prefix.get(prefix, ())
+        if prefix in self._withdrawn_prefixes:
+            self._withdrawn_prefixes.discard(prefix)
+            self._total_withdrawals = max(0, self._total_withdrawals - 1)
+            for link in old_links:
+                self._withdrawn_for_link[link] = max(
+                    0, self._withdrawn_for_link.get(link, 0) - 1
+                )
+        else:
+            for link in old_links:
+                self._routed_for_link[link] = max(0, self._routed_for_link.get(link, 0) - 1)
+        new_links = self._links_for_path(new_path)
+        self._links_of_prefix[prefix] = new_links
+        for link in new_links:
+            self._routed_for_link[link] = self._routed_for_link.get(link, 0) + 1
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def total_withdrawals(self) -> int:
+        """``W(t)``: withdrawals received so far (deduplicated)."""
+        return self._total_withdrawals
+
+    @property
+    def withdrawn_prefixes(self) -> FrozenSet[Prefix]:
+        """The set of currently-withdrawn prefixes."""
+        return frozenset(self._withdrawn_prefixes)
+
+    def tracked_links(self) -> List[Link]:
+        """Every link appearing in at least one known path."""
+        links: Set[Link] = set(self._routed_for_link) | set(self._withdrawn_for_link)
+        return sorted(links)
+
+    def withdrawal_count(self, link: Link) -> int:
+        """``W(l, t)`` for one link."""
+        return self._withdrawn_for_link.get(_canonical(link), 0)
+
+    def still_routed_count(self, link: Link) -> int:
+        """``P(l, t)`` for one link."""
+        return self._routed_for_link.get(_canonical(link), 0)
+
+    def withdrawal_share(self, link: Link) -> float:
+        """``WS(l, t)``; 0 when no withdrawal has been received."""
+        if self._total_withdrawals == 0:
+            return 0.0
+        return self.withdrawal_count(link) / self._total_withdrawals
+
+    def path_share(self, link: Link) -> float:
+        """``PS(l, t)``; 0 when the link carries no prefix at all."""
+        withdrawn = self.withdrawal_count(link)
+        routed = self.still_routed_count(link)
+        if withdrawn + routed == 0:
+            return 0.0
+        return withdrawn / (withdrawn + routed)
+
+    def fit_score(self, link: Link) -> float:
+        """``FS(l, t)`` for a single link."""
+        return self._combine(self.withdrawal_share(link), self.path_share(link))
+
+    def score(self, link: Link) -> LinkScore:
+        """All the metrics of a single link."""
+        canonical = _canonical(link)
+        ws = self.withdrawal_share(canonical)
+        ps = self.path_share(canonical)
+        return LinkScore(
+            links=(canonical,),
+            withdrawal_share=ws,
+            path_share=ps,
+            fit_score=self._combine(ws, ps),
+            withdrawn_count=self.withdrawal_count(canonical),
+            still_routed_count=self.still_routed_count(canonical),
+        )
+
+    def score_set(self, links: Sequence[Link]) -> LinkScore:
+        """Metrics of a set of links, per the multi-link extension of §4.2."""
+        canonical = tuple(sorted({_canonical(link) for link in links}))
+        withdrawn = sum(self.withdrawal_count(link) for link in canonical)
+        routed = sum(self.still_routed_count(link) for link in canonical)
+        ws = (
+            min(1.0, withdrawn / self._total_withdrawals)
+            if self._total_withdrawals
+            else 0.0
+        )
+        ps = withdrawn / (withdrawn + routed) if (withdrawn + routed) else 0.0
+        return LinkScore(
+            links=canonical,
+            withdrawal_share=ws,
+            path_share=ps,
+            fit_score=self._combine(ws, ps),
+            withdrawn_count=withdrawn,
+            still_routed_count=routed,
+        )
+
+    def all_scores(self, min_withdrawn: int = 1) -> List[LinkScore]:
+        """Scores of every link with at least ``min_withdrawn`` withdrawals."""
+        scores = [
+            self.score(link)
+            for link, withdrawn in self._withdrawn_for_link.items()
+            if withdrawn >= min_withdrawn
+        ]
+        scores.sort(key=lambda item: (-item.fit_score, item.links))
+        return scores
+
+    def prefixes_via_links(self, links: Iterable[Link]) -> FrozenSet[Prefix]:
+        """Prefixes whose current path traverses any of ``links`` (full scan)."""
+        wanted = {_canonical(link) for link in links}
+        result: Set[Prefix] = set()
+        for prefix, prefix_links in self._links_of_prefix.items():
+            for link in prefix_links:
+                if link in wanted:
+                    result.add(prefix)
+                    break
+        return frozenset(result)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _links_for_path(self, path: ASPath) -> Tuple[Link, ...]:
+        links = [_canonical(link) for link in path.links()]
+        if self._local_prefix_link is not None and len(path) >= 1:
+            links.insert(0, self._local_prefix_link)
+        # Deduplicate while keeping order (paths with prepending repeat links).
+        seen: Set[Link] = set()
+        unique: List[Link] = []
+        for link in links:
+            if link not in seen:
+                seen.add(link)
+                unique.append(link)
+        return tuple(unique)
+
+    def _combine(self, ws: float, ps: float) -> float:
+        if ws <= 0.0 or ps <= 0.0:
+            return 0.0
+        w_ws, w_ps = self.config.ws_weight, self.config.ps_weight
+        return (ws ** w_ws * ps ** w_ps) ** (1.0 / (w_ws + w_ps))

@@ -18,6 +18,11 @@ Upon an accepted inference the router installs one high-priority rule per
 at once — and records a :class:`RerouteAction` with the modelled data-plane
 update latency.  When BGP has re-converged (the burst ends), the SWIFT rules
 are withdrawn and forwarding falls back to the BGP-derived state (§3).
+
+Message streams should be fed through :meth:`SwiftedRouter.receive_batch`
+where possible: consecutive same-peer runs are handed to the session's
+inference engine in bulk, keeping per-message Python overhead off the burst
+hot path.
 """
 
 from __future__ import annotations
@@ -200,14 +205,46 @@ class SwiftedRouter:
             return None
         return self._apply_inference(message.peer_as, result)
 
+    def receive_batch(self, messages: Iterable[BGPMessage]) -> List[RerouteAction]:
+        """Process a batch of messages; returns every reroute action.
+
+        Messages are fed to the speaker one by one (its RIB state is
+        order-sensitive) but handed to each session's inference engine in
+        consecutive same-peer runs via
+        :meth:`~repro.core.inference.InferenceEngine.process_batch`, avoiding
+        per-message engine dispatch on the hot path.  Reroute application only
+        reads the provision-time tables, so batching does not change the
+        resulting actions.
+        """
+        if not self._provisioned:
+            raise RuntimeError("provision() must be called before receiving updates")
+        actions: List[RerouteAction] = []
+        run: List[BGPMessage] = []
+        run_peer: Optional[int] = None
+
+        def flush() -> None:
+            if not run:
+                return
+            engine = self._engines.get(run_peer)
+            if engine is not None:
+                for result in engine.process_batch(run):
+                    action = self._apply_inference(run_peer, result)
+                    if action is not None:
+                        actions.append(action)
+            run.clear()
+
+        for message in messages:
+            self.speaker.receive(message)
+            if message.peer_as != run_peer:
+                flush()
+                run_peer = message.peer_as
+            run.append(message)
+        flush()
+        return actions
+
     def receive_all(self, messages: Iterable[BGPMessage]) -> List[RerouteAction]:
         """Process a stream of messages; returns every reroute action."""
-        actions: List[RerouteAction] = []
-        for message in messages:
-            action = self.receive(message)
-            if action is not None:
-                actions.append(action)
-        return actions
+        return self.receive_batch(messages)
 
     # -- rerouting ---------------------------------------------------------------
 

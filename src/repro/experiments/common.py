@@ -135,7 +135,7 @@ def evaluate_burst(
 ) -> BurstEvaluation:
     """Run the inference engine over one burst and score the result."""
     engine = InferenceEngine(burst.rib, config=config, history=history)
-    engine.process_stream(burst.messages)
+    engine.process_batch(burst.messages)
     result = engine.accepted_inference
     if result is None:
         return BurstEvaluation(

@@ -143,8 +143,8 @@ def run(
         calculator = FitScoreCalculator(rib, FitScoreConfig())
         for message in messages:
             if isinstance(message, Update):
-                for prefix in message.withdrawals:
-                    calculator.record_withdrawal(prefix)
+                if message.withdrawals:
+                    calculator.record_withdrawals(message.withdrawals)
                 for announcement in message.announcements:
                     calculator.record_update(
                         announcement.prefix, announcement.attributes.as_path
@@ -211,11 +211,9 @@ def _early_inference(
     for message in messages:
         if not isinstance(message, Update):
             continue
-        for prefix in message.withdrawals:
-            calculator.record_withdrawal(prefix)
-            seen += 1
-            if seen >= early_withdrawals:
-                break
+        if message.withdrawals:
+            take = message.withdrawals[: early_withdrawals - seen]
+            seen += calculator.record_withdrawals(take)
         for announcement in message.announcements:
             calculator.record_update(
                 announcement.prefix, announcement.attributes.as_path

@@ -141,6 +141,33 @@ class TestBurstDetector:
             detector.observe_withdrawals(index * 10.0, 4)
         assert not detector.is_bursting  # never 5 within one window
 
+    def test_start_fires_at_exactly_start_threshold(self):
+        detector = BurstDetector(BurstDetectorConfig(start_threshold=5, stop_threshold=1))
+        for index in range(4):
+            assert detector.observe_withdrawals(index * 0.1, 1) is None
+        assert not detector.is_bursting
+        event = detector.observe_withdrawals(0.4, 1)  # exactly 5 in window
+        assert event is not None and event.kind == "start"
+        assert event.withdrawals_in_window == 5
+        assert detector.is_bursting
+
+    def test_end_fires_at_exactly_stop_threshold(self):
+        config = BurstDetectorConfig(
+            window_seconds=10.0, start_threshold=5, stop_threshold=2
+        )
+        detector = BurstDetector(config)
+        for index in range(5):
+            detector.observe_withdrawals(float(index), 1)  # t = 0..4
+        assert detector.is_bursting
+        # Window retains t=2,3,4 -> 3 withdrawals: above stop, still bursting.
+        assert detector.observe_time(11.5) is None
+        assert detector.is_bursting
+        # Window retains t=3,4 -> exactly stop_threshold: the burst ends.
+        event = detector.observe_time(12.5)
+        assert event is not None and event.kind == "end"
+        assert event.withdrawals_in_window == 2
+        assert not detector.is_bursting
+
     def test_percentile_threshold(self):
         counts = list(range(100))
         assert percentile_threshold(counts, 100.0) == 99

@@ -1,0 +1,249 @@
+"""Burst-boundary regression tests and reference-parity for the hot path.
+
+Covers the two attribution bugs fixed alongside the link->prefix index
+rework:
+
+* a withdrawal arriving after a long quiet gap ("end" event from the
+  detector) must end the stale burst and be attributed to quiet time, not
+  recorded into the old burst's calculator;
+* stale quiet-time withdrawals must age out on *every* message timestamp
+  (including announcement-only traffic) so a later burst neither replays
+  them nor backdates its start time.
+
+Plus the parity guarantee of the index rework: the engine emits identical
+``InferenceResult`` sequences whether it scores with the incremental
+:class:`~repro.core.fit_score.FitScoreCalculator` overlay or with the
+reference full-scan implementation.
+"""
+
+import pytest
+
+from repro.bgp.attributes import ASPath, PathAttributes
+from repro.bgp.messages import Update
+from repro.bgp.prefix import prefix_block
+from repro.core.burst_detection import BurstDetectorConfig
+from repro.core.fit_score import FitScoreConfig, LinkPrefixIndex
+from repro.core.history import HistoryModel, TriggeringSchedule
+from repro.core.inference import InferenceConfig, InferenceEngine
+from repro.core.reference import ReferenceFitScoreCalculator
+
+S6 = prefix_block("60.0.0.0/24", 100)   # origin AS 6, path 2 5 6
+S7 = prefix_block("70.0.0.0/24", 100)   # origin AS 7, path 2 5 6 7
+S8 = prefix_block("80.0.0.0/24", 20)    # origin AS 8, path 2 5 6 8
+S5 = prefix_block("95.0.0.0/24", 10)    # origin AS 5, path 2 5
+
+
+def session_rib():
+    rib = {}
+    for prefix in S6:
+        rib[prefix] = ASPath([2, 5, 6])
+    for prefix in S7:
+        rib[prefix] = ASPath([2, 5, 6, 7])
+    for prefix in S8:
+        rib[prefix] = ASPath([2, 5, 6, 8])
+    for prefix in S5:
+        rib[prefix] = ASPath([2, 5])
+    return rib
+
+
+def _config(start_threshold=10, stop_threshold=1, trigger=10 ** 6, window=10.0):
+    return InferenceConfig(
+        detector=BurstDetectorConfig(
+            window_seconds=window,
+            start_threshold=start_threshold,
+            stop_threshold=stop_threshold,
+        ),
+        schedule=TriggeringSchedule(
+            steps=((trigger, 10 ** 7),), unconditional_after=trigger
+        ),
+    )
+
+
+def _withdrawals(prefixes, start, rate=1000.0, peer_as=2):
+    return [
+        Update.withdraw(start + index / rate, peer_as, prefix)
+        for index, prefix in enumerate(prefixes)
+    ]
+
+
+class TestWithdrawalAfterQuietGap:
+    """Regression: an "end" event from ``observe_withdrawals`` is honoured."""
+
+    def test_late_withdrawal_ends_stale_burst(self):
+        history = HistoryModel()
+        engine = InferenceEngine(session_rib(), config=_config(), history=history)
+        engine.process_batch(_withdrawals(S6[:20], start=100.0))
+        assert engine.detector.is_bursting
+        assert engine.withdrawals_in_current_burst == 20
+
+        # One withdrawal after a gap far exceeding the detection window: the
+        # detector returns an "end" event on this very message.
+        engine.process_message(Update.withdraw(200.0, 2, S7[0]))
+        assert not engine.detector.is_bursting
+        assert engine.withdrawals_in_current_burst == 0
+        # The stale burst's size excludes the late withdrawal.
+        assert history.sizes == [20]
+
+    def test_late_withdrawal_seeds_the_next_burst(self):
+        engine = InferenceEngine(session_rib(), config=_config())
+        engine.process_batch(_withdrawals(S6[:20], start=100.0))
+
+        # Gap, then a fresh flood: the quiet-gap withdrawal belongs to the
+        # *new* burst (it is replayed from the quiet-time buffer).
+        engine.process_message(Update.withdraw(200.0, 2, S7[0]))
+        engine.process_batch(_withdrawals(S7[1:10], start=200.05))
+        assert engine.detector.is_bursting
+        assert engine.withdrawals_in_current_burst == 10
+        result = engine.force_inference(timestamp=200.1)
+        assert result is not None
+        assert result.burst_start == pytest.approx(200.0)
+        assert result.withdrawals_seen == 10
+
+
+class TestStaleBufferedWithdrawals:
+    """Regression: quiet-time withdrawals age out on every message."""
+
+    def test_announcement_traffic_expires_the_buffer(self):
+        engine = InferenceEngine(session_rib(), config=_config())
+        # Five quiet withdrawals, far below the start threshold.
+        for message in _withdrawals(S6[:5], start=0.0):
+            engine.process_message(message)
+        assert all(prefix in engine.current_rib() for prefix in S6[:5])
+
+        # Announcement-only traffic 50 s later must expire the buffer (the
+        # seed implementation only aged it on quiet *withdrawal* messages).
+        engine.process_message(
+            Update.announce(
+                50.0, 2, S5[0], PathAttributes(as_path=ASPath([2, 5]), next_hop=2)
+            )
+        )
+        assert all(prefix not in engine.current_rib() for prefix in S6[:5])
+
+    def test_stale_withdrawals_not_replayed_into_new_burst(self):
+        engine = InferenceEngine(session_rib(), config=_config())
+        for message in _withdrawals(S6[:5], start=0.0):
+            engine.process_message(message)
+        engine.process_message(
+            Update.announce(
+                50.0, 2, S5[0], PathAttributes(as_path=ASPath([2, 5]), next_hop=2)
+            )
+        )
+
+        # A real burst at t=100: its start must not be backdated to t=0 and
+        # the stale withdrawals must not inflate its counter.
+        engine.process_batch(_withdrawals(S7[:10], start=100.0))
+        assert engine.detector.is_bursting
+        assert engine.withdrawals_in_current_burst == 10
+        result = engine.force_inference(timestamp=100.1)
+        assert result is not None
+        assert result.burst_start == pytest.approx(100.0)
+        assert result.withdrawals_seen == 10
+        assert result.inference_delay < 1.0
+
+
+class TestReferenceParity:
+    """The index-based engine matches the reference full-scan engine."""
+
+    @staticmethod
+    def _parity_stream():
+        """A synthetic burst exercising every hot-path code path.
+
+        Quiet churn (buffered withdrawals, some expiring), a first burst with
+        interleaved re-announcements (implicit withdrawals, withdrawal
+        clearing), a quiet gap ending it, and a second burst that triggers
+        and gets accepted — producing both rejected and accepted
+        ``InferenceResult`` entries.
+        """
+        messages = []
+        # Quiet churn: a few withdrawals that will expire, and one
+        # re-announcement.
+        messages += _withdrawals(S5[:3], start=0.0, rate=10.0)
+        messages.append(
+            Update.announce(
+                20.0, 2, S6[0], PathAttributes(as_path=ASPath([2, 3, 6]), next_hop=2)
+            )
+        )
+        # First burst: withdraw S6, re-route S7 away from (5, 6) mid-burst,
+        # re-announce one withdrawn prefix (clears its withdrawal).
+        messages += _withdrawals(S6, start=100.0)
+        messages.append(
+            Update.announce(
+                100.05, 2, S7[0], PathAttributes(as_path=ASPath([2, 3, 7]), next_hop=2)
+            )
+        )
+        messages.append(
+            Update.announce(
+                100.08, 2, S6[10], PathAttributes(as_path=ASPath([2, 3, 6]), next_hop=2)
+            )
+        )
+        # Quiet gap ends the burst.
+        messages.append(
+            Update.announce(
+                180.0, 2, S5[5], PathAttributes(as_path=ASPath([2, 5]), next_hop=2)
+            )
+        )
+        # Second burst: withdraw S7 and S8 (failure around AS 6's far side).
+        messages += _withdrawals(S7 + S8, start=300.0)
+        messages.sort(key=lambda m: m.timestamp)
+        return messages
+
+    def test_identical_inference_result_sequences(self):
+        config = InferenceConfig(
+            detector=BurstDetectorConfig(
+                window_seconds=10.0, start_threshold=30, stop_threshold=1
+            ),
+            schedule=TriggeringSchedule(
+                steps=((60, 90), (110, 10 ** 6)), unconditional_after=150
+            ),
+        )
+        rib = session_rib()
+        messages = self._parity_stream()
+
+        incremental = InferenceEngine(rib, config=config, local_as=1, peer_as=2)
+        reference = InferenceEngine(
+            rib,
+            config=config,
+            local_as=1,
+            peer_as=2,
+            calculator_factory=lambda current_rib: ReferenceFitScoreCalculator(
+                current_rib, config=config.fit_score, local_as=1, peer_as=2
+            ),
+        )
+
+        accepted_incremental = incremental.process_stream(messages)
+        accepted_reference = reference.process_stream(messages)
+
+        # Every emitted result — accepted *and* rejected — must be identical.
+        assert incremental.results == reference.results
+        assert accepted_incremental == accepted_reference
+        assert len(incremental.results) >= 2, "stream must exercise several triggers"
+        assert any(r.accepted for r in incremental.results)
+        assert any(not r.accepted for r in incremental.results)
+        assert incremental.current_rib() == reference.current_rib()
+
+    def test_calculator_parity_on_shared_queries(self):
+        """Spot-check calculator-level queries against the reference."""
+        rib = session_rib()
+        index = LinkPrefixIndex(rib, local_as=1, peer_as=2)
+        from repro.core.fit_score import FitScoreCalculator
+
+        incremental = FitScoreCalculator.from_index(index, config=FitScoreConfig())
+        reference = ReferenceFitScoreCalculator(
+            rib, config=FitScoreConfig(), local_as=1, peer_as=2
+        )
+        incremental.record_withdrawals(S6 + S8[:5])
+        reference.record_withdrawals(S6 + S8[:5])
+        incremental.record_update(S7[0], ASPath([2, 3, 7]))
+        reference.record_update(S7[0], ASPath([2, 3, 7]))
+        incremental.record_update(S6[0], ASPath([2, 3, 6]))
+        reference.record_update(S6[0], ASPath([2, 3, 6]))
+
+        assert incremental.total_withdrawals == reference.total_withdrawals
+        assert incremental.withdrawn_prefixes == reference.withdrawn_prefixes
+        assert incremental.all_scores() == reference.all_scores()
+        assert incremental.tracked_links() == reference.tracked_links()
+        for links in ([(5, 6)], [(2, 5), (5, 6)], [(6, 8), (6, 7)]):
+            assert incremental.prefixes_via_links(links) == reference.prefixes_via_links(
+                links
+            )
+            assert incremental.score_set(links) == reference.score_set(links)
