@@ -3,7 +3,10 @@
 Each benchmark regenerates one of the paper's tables/figures (scaled down so
 the whole suite completes in minutes) and prints the reproduced rows next to
 the paper's numbers.  The burst corpus and the synthetic trace are built once
-per session and shared.
+per session, shared, and memoised on disk (``.trace_cache/``, see
+:mod:`repro.traces.trace_cache`): the first session pays the full generation,
+later sessions reload in seconds.  Set ``REPRO_TRACE_CACHE=off`` to force
+regeneration.
 """
 
 import os
@@ -15,14 +18,14 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro.experiments import burst_corpus  # noqa: E402
-from repro.traces.synthetic import SyntheticTraceConfig, SyntheticTraceGenerator  # noqa: E402
+from repro.experiments import cached_corpus  # noqa: E402
+from repro.traces.synthetic import SyntheticTraceConfig, cached_trace  # noqa: E402
 
 
 @pytest.fixture(scope="session")
 def corpus():
     """Burst corpus standing in for the paper's 1,802 real-trace bursts."""
-    return burst_corpus(
+    return cached_corpus(
         peer_count=10,
         duration_days=20,
         min_table_size=4000,
@@ -42,4 +45,4 @@ def month_trace():
         noise_rate_per_second=0.0,
         seed=13,
     )
-    return SyntheticTraceGenerator(config).generate()
+    return cached_trace(config)

@@ -65,7 +65,7 @@ class ASPath:
     directly via :meth:`links` and :meth:`links_with_positions`.
     """
 
-    __slots__ = ("_asns",)
+    __slots__ = ("_asns", "_links", "_loop")
 
     def __init__(self, asns: Iterable[int]) -> None:
         asns = tuple(int(a) for a in asns)
@@ -73,6 +73,11 @@ class ASPath:
             if asn <= 0:
                 raise ValueError(f"invalid AS number {asn}")
         self._asns = asns
+        # Lazily-computed caches; paths are immutable and their links are
+        # re-read on every RIB index update, so memoising them keeps the
+        # replay hot path off the zip/canonicalise work.
+        self._links: Optional[Tuple[Tuple[int, int], ...]] = None
+        self._loop: Optional[bool] = None
 
     # -- accessors --------------------------------------------------------
 
@@ -111,6 +116,12 @@ class ASPath:
     def __hash__(self) -> int:
         return hash(self._asns)
 
+    def __reduce__(self):
+        # Restore via the trusted fast path (skips re-validation; the lazy
+        # link/loop caches rebuild on demand) — trace caches serialise
+        # hundreds of thousands of paths.
+        return (_restore_aspath, (self._asns,))
+
     def __repr__(self) -> str:
         return f"ASPath({list(self._asns)!r})"
 
@@ -119,13 +130,19 @@ class ASPath:
 
     # -- derived views ----------------------------------------------------
 
-    def links(self) -> List[Tuple[int, int]]:
+    def links(self) -> Tuple[Tuple[int, int], ...]:
         """Return the AS links (adjacent pairs) along the path.
 
         Links are returned in canonical (sorted endpoint) form because an
         AS adjacency is undirected for the purposes of failure inference.
+        The tuple is computed once and cached (paths are immutable).
         """
-        return [_canonical_link(a, b) for a, b in zip(self._asns, self._asns[1:])]
+        links = self._links
+        if links is None:
+            links = self._links = tuple(
+                _canonical_link(a, b) for a, b in zip(self._asns, self._asns[1:])
+            )
+        return links
 
     def directed_links(self) -> List[Tuple[int, int]]:
         """Return the links in traversal order without canonicalisation."""
@@ -155,7 +172,10 @@ class ASPath:
 
     def has_loop(self) -> bool:
         """Return ``True`` if any AS appears more than once (invalid path)."""
-        return len(set(self._asns)) != len(self._asns)
+        loop = self._loop
+        if loop is None:
+            loop = self._loop = len(set(self._asns)) != len(self._asns)
+        return loop
 
     def prepend(self, asn: int, count: int = 1) -> "ASPath":
         """Return a new path with ``asn`` prepended ``count`` times."""
@@ -170,6 +190,15 @@ class ASPath:
         """Parse a whitespace-separated AS path string such as ``"2 5 6"``."""
         parts = text.split()
         return cls(int(part) for part in parts)
+
+
+def _restore_aspath(asns: Tuple[int, ...]) -> "ASPath":
+    """Unpickle fast path: rebuild a path from an already-validated tuple."""
+    path = ASPath.__new__(ASPath)
+    path._asns = asns
+    path._links = None
+    path._loop = None
+    return path
 
 
 def _canonical_link(a: int, b: int) -> Tuple[int, int]:
@@ -199,6 +228,20 @@ class PathAttributes:
             raise ValueError("local_pref must be non-negative")
         if self.med < 0:
             raise ValueError("MED must be non-negative")
+
+    def __reduce__(self):
+        # Constructor-call pickling; see ASPath.__reduce__.
+        return (
+            PathAttributes,
+            (
+                self.as_path,
+                self.next_hop,
+                self.local_pref,
+                self.med,
+                self.origin,
+                self.communities,
+            ),
+        )
 
     def with_local_pref(self, local_pref: int) -> "PathAttributes":
         """Return a copy with a different LOCAL_PREF."""

@@ -96,6 +96,11 @@ class Announcement:
     prefix: Prefix
     attributes: PathAttributes
 
+    def __reduce__(self):
+        # Constructor-call pickling: traces serialise millions of these and
+        # the dataclass state-dict path is several times slower to restore.
+        return (Announcement, (self.prefix, self.attributes))
+
 
 @dataclass(frozen=True)
 class Update(BGPMessage):
@@ -114,6 +119,14 @@ class Update(BGPMessage):
     @property
     def type(self) -> MessageType:
         return MessageType.UPDATE
+
+    def __reduce__(self):
+        # See Announcement.__reduce__: constructor-call pickling keeps trace
+        # caches fast to restore.
+        return (
+            Update,
+            (self.timestamp, self.peer_as, self.announcements, self.withdrawals),
+        )
 
     @property
     def is_withdrawal_only(self) -> bool:

@@ -67,7 +67,7 @@ class Prefix:
         Prefix length in ``[0, 32]``.
     """
 
-    __slots__ = ("_network", "_length")
+    __slots__ = ("_network", "_length", "_hash")
 
     def __init__(self, network: int, length: int) -> None:
         if not 0 <= length <= 32:
@@ -77,6 +77,9 @@ class Prefix:
         mask = _mask_for(length)
         self._network = network & mask
         self._length = length
+        # Prefixes are dictionary keys on every RIB hot path; pre-computing
+        # the (immutable) hash once saves a tuple build per lookup.
+        self._hash = hash((self._network, length))
 
     # -- constructors -----------------------------------------------------
 
@@ -184,13 +187,28 @@ class Prefix:
         return (self._network, self._length) >= (other._network, other._length)
 
     def __hash__(self) -> int:
-        return hash((self._network, self._length))
+        return self._hash
+
+    def __reduce__(self):
+        # Restore via the trusted fast path: the stored fields were already
+        # validated and masked at construction, and trace caches serialise
+        # millions of prefixes.
+        return (_restore_prefix, (self._network, self._length))
 
     def __repr__(self) -> str:
         return f"Prefix({str(self)!r})"
 
     def __str__(self) -> str:
         return f"{_int_to_dotted(self._network)}/{self._length}"
+
+
+def _restore_prefix(network: int, length: int) -> "Prefix":
+    """Unpickle fast path: rebuild a prefix from already-validated fields."""
+    prefix = Prefix.__new__(Prefix)
+    prefix._network = network
+    prefix._length = length
+    prefix._hash = hash((network, length))
+    return prefix
 
 
 def _mask_for(length: int) -> int:

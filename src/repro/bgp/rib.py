@@ -19,14 +19,47 @@ from repro.bgp.prefix import Prefix
 __all__ = ["AdjRibIn", "LocRib", "RibEntry", "RouteChange", "RouteChangeKind"]
 
 
-@dataclass(frozen=True)
 class RibEntry:
-    """A route stored in a RIB: a prefix with its attributes and source peer."""
+    """A route stored in a RIB: a prefix with its attributes and source peer.
 
-    prefix: Prefix
-    attributes: PathAttributes
-    peer_as: int
-    learned_at: float = 0.0
+    A plain ``__slots__`` class rather than a dataclass: one entry is built
+    per announcement on the replay hot path, and a frozen dataclass pays an
+    ``object.__setattr__`` per field per construction.  Treat instances as
+    immutable all the same.
+    """
+
+    __slots__ = ("prefix", "attributes", "peer_as", "learned_at")
+
+    def __init__(
+        self,
+        prefix: Prefix,
+        attributes: PathAttributes,
+        peer_as: int,
+        learned_at: float = 0.0,
+    ) -> None:
+        self.prefix = prefix
+        self.attributes = attributes
+        self.peer_as = peer_as
+        self.learned_at = learned_at
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RibEntry):
+            return NotImplemented
+        return (
+            self.prefix == other.prefix
+            and self.attributes == other.attributes
+            and self.peer_as == other.peer_as
+            and self.learned_at == other.learned_at
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.prefix, self.attributes, self.peer_as, self.learned_at))
+
+    def __repr__(self) -> str:
+        return (
+            f"RibEntry(prefix={self.prefix!r}, attributes={self.attributes!r}, "
+            f"peer_as={self.peer_as}, learned_at={self.learned_at})"
+        )
 
     @property
     def as_path(self) -> ASPath:
@@ -48,14 +81,42 @@ class RouteChangeKind(Enum):
     UNCHANGED = "unchanged"
 
 
-@dataclass(frozen=True)
 class RouteChange:
-    """Result of feeding one announcement/withdrawal through a RIB."""
+    """Result of feeding one announcement/withdrawal through a RIB.
 
-    kind: RouteChangeKind
-    prefix: Prefix
-    old: Optional[RibEntry] = None
-    new: Optional[RibEntry] = None
+    Like :class:`RibEntry`, a ``__slots__`` class for construction speed on
+    the replay hot path; treat instances as immutable.
+    """
+
+    __slots__ = ("kind", "prefix", "old", "new")
+
+    def __init__(
+        self,
+        kind: RouteChangeKind,
+        prefix: Prefix,
+        old: Optional[RibEntry] = None,
+        new: Optional[RibEntry] = None,
+    ) -> None:
+        self.kind = kind
+        self.prefix = prefix
+        self.old = old
+        self.new = new
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RouteChange):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.prefix == other.prefix
+            and self.old == other.old
+            and self.new == other.new
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RouteChange(kind={self.kind!r}, prefix={self.prefix!r}, "
+            f"old={self.old!r}, new={self.new!r})"
+        )
 
 
 class AdjRibIn:
@@ -73,8 +134,42 @@ class AdjRibIn:
         # path traverses the link.  Kept in sync on every announce/withdraw
         # so the inference engine can query path shares in O(1).
         self._link_index: Dict[Tuple[int, int], set] = {}
+        # While a bulk run is open, link-index maintenance is deferred:
+        # maps each touched prefix to its pre-run entry, so end_bulk() can
+        # apply one net old->final index transition per prefix instead of
+        # churning the index at every intermediate path change.
+        self._bulk_original: Optional[Dict[Prefix, Optional[RibEntry]]] = None
 
     # -- mutation ---------------------------------------------------------
+
+    def begin_bulk(self) -> None:
+        """Start a bulk run: link-index updates are coalesced per prefix.
+
+        Between :meth:`begin_bulk` and :meth:`end_bulk` the link index is
+        stale for the touched prefixes (route lookups stay exact); readers
+        that need path shares mid-run must close the bulk first.  Used by
+        :meth:`repro.bgp.session.PeeringSession.process_batch`, where a
+        path-exploration run may rewrite a prefix's path many times but only
+        the net transition is observable.
+        """
+        if self._bulk_original is None:
+            self._bulk_original = {}
+
+    def end_bulk(self) -> None:
+        """Close a bulk run, applying the net link-index transitions."""
+        original = self._bulk_original
+        if original is None:
+            return
+        self._bulk_original = None
+        routes = self._routes
+        for prefix, old in original.items():
+            new = routes.get(prefix)
+            if old is new:
+                continue
+            if old is not None:
+                self._unindex(old)
+            if new is not None:
+                self._index(new)
 
     def announce(
         self, prefix: Prefix, attributes: PathAttributes, timestamp: float = 0.0
@@ -87,10 +182,16 @@ class AdjRibIn:
             peer_as=self.peer_as,
             learned_at=timestamp,
         )
-        if old is not None:
-            self._unindex(old)
+        bulk = self._bulk_original
+        if bulk is not None:
+            if prefix not in bulk:
+                bulk[prefix] = old
+        else:
+            if old is not None:
+                self._unindex(old)
         self._routes[prefix] = entry
-        self._index(entry)
+        if bulk is None:
+            self._index(entry)
         kind = RouteChangeKind.UPDATED if old is not None else RouteChangeKind.NEW
         return RouteChange(kind=kind, prefix=prefix, old=old, new=entry)
 
@@ -99,13 +200,20 @@ class AdjRibIn:
         old = self._routes.pop(prefix, None)
         if old is None:
             return RouteChange(kind=RouteChangeKind.UNCHANGED, prefix=prefix)
-        self._unindex(old)
+        bulk = self._bulk_original
+        if bulk is not None:
+            if prefix not in bulk:
+                bulk[prefix] = old
+        else:
+            self._unindex(old)
         return RouteChange(kind=RouteChangeKind.WITHDRAWN, prefix=prefix, old=old)
 
     def clear(self) -> None:
         """Drop every route (session reset)."""
         self._routes.clear()
         self._link_index.clear()
+        if self._bulk_original is not None:
+            self._bulk_original = {}
 
     # -- queries ----------------------------------------------------------
 

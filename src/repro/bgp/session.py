@@ -56,8 +56,22 @@ class MessageStream:
         self._timestamps.insert(index, message.timestamp)
 
     def extend(self, messages: Iterable[BGPMessage]) -> None:
-        """Append several messages."""
-        for message in messages:
+        """Append several messages.
+
+        An already-sorted batch that starts at or after the stream's current
+        end is appended with two list concatenations; anything else falls
+        back to per-message insertion.
+        """
+        batch = messages if isinstance(messages, (list, tuple)) else list(messages)
+        if not batch:
+            return
+        timestamps = [message.timestamp for message in batch]
+        in_order = all(a <= b for a, b in zip(timestamps, timestamps[1:]))
+        if in_order and (not self._timestamps or timestamps[0] >= self._timestamps[-1]):
+            self._messages.extend(batch)
+            self._timestamps.extend(timestamps)
+            return
+        for message in batch:
             self.append(message)
 
     def __len__(self) -> int:
@@ -244,6 +258,71 @@ class PeeringSession:
         for message in messages:
             all_changes.extend(self.process(message))
         return all_changes
+
+    def process_batch(
+        self, messages: Iterable[BGPMessage]
+    ) -> List[List[RouteChange]]:
+        """Bulk :meth:`process`: apply a run of messages in one call.
+
+        Returns one change list per message (same order), so callers that
+        need message boundaries — e.g. the batched speaker tracking
+        reachability transitions — keep them.  Semantically identical to
+        calling :meth:`process` per message, with three bulk-mode
+        amortisations: the stream records the run in one extend, the
+        statistics counters fold in once at the end (an observer reading
+        ``stats`` mid-run sees the pre-run values), and the Adj-RIB-In's
+        link index applies one net transition per touched prefix instead of
+        churning at every intermediate path change — so an observer
+        querying path shares mid-run sees the pre-run index.
+        """
+        if not isinstance(messages, (list, tuple)):
+            messages = list(messages)
+        per_message: List[List[RouteChange]] = []
+        stats = self.stats
+        self.stream.extend(messages)
+        rib_in = self.rib_in
+        rib_withdraw = rib_in.withdraw
+        rib_announce = rib_in.announce
+        observers = self._observers
+        count = 0
+        withdrawals = 0
+        announcements = 0
+        last_at = stats.last_message_at
+        rib_in.begin_bulk()
+        append_result = per_message.append
+        for message in messages:
+            count += 1
+            timestamp = message.timestamp
+            last_at = timestamp
+            if not isinstance(message, Update):
+                if message.type == MessageType.OPEN:
+                    self.state = SessionState.ESTABLISHED
+                elif message.type == MessageType.NOTIFICATION:
+                    self.state = SessionState.CLOSED
+                    self.rib_in.clear()
+                    stats.session_resets += 1
+                append_result([])
+                continue
+            changes: List[RouteChange] = []
+            changes_append = changes.append
+            for prefix in message.withdrawals:
+                changes_append(rib_withdraw(prefix, timestamp))
+                withdrawals += 1
+            for announcement in message.announcements:
+                changes_append(
+                    rib_announce(announcement.prefix, announcement.attributes, timestamp)
+                )
+                announcements += 1
+            for observer in observers:
+                observer(self, message, changes)
+            append_result(changes)
+        rib_in.end_bulk()
+        stats.messages_received += count
+        stats.withdrawals_received += withdrawals
+        stats.announcements_received += announcements
+        if count:
+            stats.last_message_at = last_at
+        return per_message
 
     # -- convenience ------------------------------------------------------
 

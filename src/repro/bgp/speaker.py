@@ -6,11 +6,24 @@ path selection for the touched prefixes, and reports best-route changes.
 The case-study "vanilla router" (§2.1.2 / §7) builds on this speaker, adding
 a timing model for FIB installation; the SWIFTED router wraps the same
 speaker with the SWIFT engine.
+
+Replay workloads should prefer the batched path: :meth:`BGPSpeaker.receive_batch`
+applies every Adj-RIB-In / Loc-RIB candidate change of a batch first and then
+runs the decision process **once per touched prefix** instead of once per
+message — and, because the standard ranking depends only on a candidate's
+attributes and peer AS, once per *distinct candidate profile* when prefixes
+share their candidate sets (as table dumps and failure bursts overwhelmingly
+do).  The batched path matches per-message :meth:`BGPSpeaker.receive` in the
+final Loc-RIB and in the multiset of loss-of-reachability / recovery events:
+candidate-set emptiness is tracked at message boundaries, so a prefix that
+transiently loses every route mid-batch still reports its blackhole (and the
+subsequent recovery), without forcing a per-message decision pass.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bgp.decision import DecisionProcess, default_decision_process
@@ -19,7 +32,11 @@ from repro.bgp.prefix import Prefix
 from repro.bgp.rib import LocRib, RibEntry, RouteChange, RouteChangeKind
 from repro.bgp.session import PeeringSession
 
-__all__ = ["BGPSpeaker", "BestRouteChange"]
+__all__ = ["BGPSpeaker", "BestRouteChange", "SpeakerBatch"]
+
+#: Module-level so the batched re-selection builds its profile keys with
+#: C-level ``map`` calls instead of a Python-level lambda per candidate.
+_attrgetter_attributes = attrgetter("attributes")
 
 
 @dataclass(frozen=True)
@@ -136,12 +153,57 @@ class BGPSpeaker:
                 listener(best_changes)
         return best_changes
 
-    def receive_all(self, messages: Iterable[BGPMessage]) -> List[BestRouteChange]:
-        """Process a stream of messages; returns every best-route change."""
-        all_changes: List[BestRouteChange] = []
+    def receive_batch(self, messages: Iterable[BGPMessage]) -> List[BestRouteChange]:
+        """Process a batch of messages, running best-path selection per prefix.
+
+        All Adj-RIB-In and Loc-RIB candidate changes are applied first (in
+        bulk per consecutive same-peer run); the decision process then runs
+        once per *touched prefix* — grouped by candidate profile when the
+        ranking allows it — rather than once per message, which is the
+        difference between O(messages x touched) and O(touched) selection
+        work on withdrawal bursts and path-exploration storms.  The
+        best-route listeners fire once with the coalesced change list.
+
+        Matches calling :meth:`receive` per message in the final Loc-RIB and
+        in the multiset of loss-of-reachability / recovery events (transient
+        blackholes are synthesised from candidate-set transitions tracked at
+        message boundaries).  Intermediate next-hop flaps within a batch are
+        coalesced away.  Messages are iterated exactly once (lazy streams
+        are fine).
+        """
+        batch = self.begin_batch()
+        run: List[BGPMessage] = []
+        run_peer: Optional[int] = None
         for message in messages:
-            all_changes.extend(self.receive(message))
-        return all_changes
+            if message.peer_as != run_peer:
+                if run:
+                    batch.add_run(run_peer, run)
+                    run = []
+                run_peer = message.peer_as
+            run.append(message)
+        if run:
+            batch.add_run(run_peer, run)
+        return batch.commit()
+
+    def begin_batch(self) -> "SpeakerBatch":
+        """Start an explicit batch; see :class:`SpeakerBatch`.
+
+        Useful when the caller interleaves speaker updates with other
+        per-message work (e.g. the SWIFTED router feeding inference engines)
+        and wants a single decision pass at the end.
+        """
+        return SpeakerBatch(self)
+
+    def receive_all(self, messages: Iterable[BGPMessage]) -> List[BestRouteChange]:
+        """Process a stream of messages with batched (coalesced) semantics.
+
+        Delegates to :meth:`receive_batch`: the final Loc-RIB and the
+        loss-of-reachability / recovery events match per-message replay, but
+        intermediate next-hop flaps inside the stream are merged into one
+        ``pre-batch -> final`` change per prefix.  Callers that need every
+        intermediate change must call :meth:`receive` per message.
+        """
+        return self.receive_batch(messages)
 
     # -- queries ----------------------------------------------------------
 
@@ -177,3 +239,266 @@ class BGPSpeaker:
             self.loc_rib.set_best(new, prefix=prefix)
             changes.append(BestRouteChange(prefix=prefix, old=old, new=new))
         return changes
+
+    def _reselect_batch(self, prefixes: Sequence[Prefix]) -> List[BestRouteChange]:
+        """Batched re-selection, grouped by candidate profile.
+
+        Two prefixes whose candidate sets consist of the *same attribute
+        objects from the same peers* (the common case for table loads and
+        failure bursts, where whole path-sharing prefix groups change
+        together) rank identically under a prefix-independent decision
+        process, so the winner peer is computed once per distinct profile
+        and reused for every member prefix.  Falls back to per-prefix
+        :meth:`_reselect` for rankings that are not prefix-independent.
+        """
+        if not self.decision_process.prefix_independent:
+            return self._reselect(prefixes)
+        candidates_of = self.loc_rib._candidates
+        select = self.decision_process.select
+        set_best = self.loc_rib.set_best
+        best_of = self.loc_rib.best
+        attributes_of = _attrgetter_attributes
+        # Profile key: the candidate peers (in insertion order — identical
+        # for prefixes with the same announcement history, which is what
+        # groups share anyway) plus the identity of each candidate's
+        # attribute object.  Built with C-level tuple/map to keep the
+        # per-prefix cost below a single ranking evaluation.
+        groups: Dict[Tuple, List[Prefix]] = {}
+        for prefix in prefixes:
+            peers = candidates_of.get(prefix)
+            if peers:
+                key = (tuple(peers), tuple(map(id, map(attributes_of, peers.values()))))
+            else:
+                key = ()
+            group = groups.get(key)
+            if group is None:
+                groups[key] = [prefix]
+            else:
+                group.append(prefix)
+        changes: List[BestRouteChange] = []
+        for key, members in groups.items():
+            if key:
+                winner = select(list(candidates_of[members[0]].values()))
+                winner_peer = None if winner is None else winner.peer_as
+            else:
+                winner_peer = None
+            for prefix in members:
+                old = best_of(prefix)
+                new = (
+                    candidates_of[prefix][winner_peer]
+                    if winner_peer is not None
+                    else None
+                )
+                if old is new:
+                    continue
+                if (
+                    old is not None
+                    and new is not None
+                    and old.peer_as == new.peer_as
+                    and old == new
+                ):
+                    continue
+                set_best(new, prefix=prefix)
+                changes.append(BestRouteChange(prefix=prefix, old=old, new=new))
+        return changes
+
+
+class SpeakerBatch:
+    """An in-progress batch of messages on a :class:`BGPSpeaker`.
+
+    Adj-RIB-In and Loc-RIB *candidate* state is kept current as messages are
+    added (it is order-sensitive), but best-path selection is deferred to
+    :meth:`commit`, where it runs once per touched prefix — grouped by
+    candidate profile when the decision process declares itself
+    prefix-independent.  Between those points ``loc_rib.best()``
+    intentionally still answers with the pre-batch best route, which is what
+    lets the deferred selection reconstruct the same ``old -> new``
+    transitions the per-message path would have reported.
+
+    Loss-of-reachability parity with the per-message path is preserved
+    without per-message selection: the batch tracks, at message boundaries,
+    whether each touched prefix still has a loop-free candidate (the same
+    condition under which ``select()`` installs a route), and synthesises
+    the loss / recovery events for prefixes that transiently lost every
+    usable route mid-batch.
+    """
+
+    def __init__(self, speaker: BGPSpeaker) -> None:
+        self._speaker = speaker
+        # Touched prefixes awaiting re-selection, in first-touch order
+        # (matching the per-message emission order).  The value doubles as
+        # the candidate-set emptiness tracker: True when the prefix had at
+        # least one candidate after the last message that touched it
+        # (initialised from the pre-batch best on first touch).
+        self._pending: Dict[Prefix, bool] = {}
+        # Mid-batch reachability transitions, in observation order:
+        # (prefix, went_down, entry) — entry is the candidate removed by a
+        # down transition / installed by an up transition.
+        self._transitions: List[Tuple[Prefix, bool, Optional[RibEntry]]] = []
+        self._committed = False
+
+    def add(self, message: BGPMessage) -> None:
+        """Apply one message's RIB changes, deferring best-path selection."""
+        self.add_run(message.peer_as, (message,))
+
+    def add_run(
+        self, peer_as: Optional[int], messages: Sequence[BGPMessage]
+    ) -> None:
+        """Apply a consecutive same-peer run of messages in bulk."""
+        if self._committed:
+            raise RuntimeError("batch already committed")
+        speaker = self._speaker
+        session = speaker._sessions.get(peer_as)
+        if session is None:
+            raise KeyError(f"no session with AS {peer_as}")
+        loc_rib = speaker.loc_rib
+        candidates_of = loc_rib._candidates
+        best_of = loc_rib.best
+        pending = self._pending
+        transitions = self._transitions
+        set_candidate = loc_rib.set_candidate
+        remove_candidate = loc_rib.remove_candidate
+        unchanged = RouteChangeKind.UNCHANGED
+
+        # Reachability is evaluated at message boundaries, so a
+        # withdraw+reannounce inside one UPDATE stays atomic, exactly as in
+        # the per-message path.  On a prefix's first touch the pre-message
+        # state comes from the (still untouched) best-route table —
+        # selection is deferred, so it reflects the pre-batch reachability.
+        # "Reachable" means a loop-free candidate exists — matching what
+        # select() would install — so a looped announcement neither recovers
+        # a prefix nor masks a loss (has_loop() is cached on the path).
+        def loop_free_exists(prefix: Prefix) -> bool:
+            peers = candidates_of.get(prefix)
+            if peers:
+                for entry in peers.values():
+                    if not entry.attributes.as_path.has_loop():
+                        return True
+            return False
+
+        for changes in session.process_batch(messages):
+            if len(changes) == 1:
+                change = changes[0]
+                if change.kind is unchanged:
+                    continue
+                prefix = change.prefix
+                new = change.new
+                before = pending.get(prefix)
+                if before is None:
+                    before = best_of(prefix) is not None
+                if new is not None:
+                    set_candidate(new)
+                    if not new.attributes.as_path.has_loop():
+                        if not before:
+                            transitions.append((prefix, False, new))
+                        pending[prefix] = True
+                    else:
+                        # A looped announcement may *replace* the prefix's
+                        # only usable candidate: probe instead of assuming
+                        # reachability is unchanged.
+                        now = loop_free_exists(prefix)
+                        if before and not now and change.old is not None:
+                            transitions.append((prefix, True, change.old))
+                        pending[prefix] = now
+                else:
+                    remove_candidate(prefix, peer_as)
+                    now = loop_free_exists(prefix)
+                    if before and not now:
+                        transitions.append((prefix, True, change.old))
+                    pending[prefix] = now
+                continue
+            last_change: Dict[Prefix, RouteChange] = {}
+            for change in changes:
+                if change.kind is unchanged:
+                    continue
+                prefix = change.prefix
+                if change.new is not None:
+                    set_candidate(change.new)
+                else:
+                    remove_candidate(prefix, peer_as)
+                if prefix not in pending:
+                    pending[prefix] = best_of(prefix) is not None
+                last_change[prefix] = change
+            for prefix, change in last_change.items():
+                # Multi-change messages may mix removals and (possibly
+                # looped) announcements of the same prefix, so probe the
+                # candidate set directly rather than reasoning from the
+                # last change alone.
+                before = pending[prefix]
+                now = loop_free_exists(prefix)
+                if now and not before:
+                    entry = change.new
+                    if entry is None or entry.attributes.as_path.has_loop():
+                        entry = next(
+                            candidate
+                            for candidate in candidates_of[prefix].values()
+                            if not candidate.attributes.as_path.has_loop()
+                        )
+                    transitions.append((prefix, False, entry))
+                elif before and not now:
+                    entry = change.old if change.old is not None else best_of(prefix)
+                    if entry is not None:
+                        transitions.append((prefix, True, entry))
+                pending[prefix] = now
+
+    def commit(self) -> List[BestRouteChange]:
+        """Run the deferred selection and return the batch's changes.
+
+        The returned list contains the synthesised transient loss / recovery
+        events (for prefixes that flapped through unreachability mid-batch)
+        followed by the coalesced ``pre-batch -> final`` best-route changes;
+        together they carry the same multiset of loss-of-reachability and
+        recovery events as the per-message path.  The best-route listeners
+        fire once with the combined list.
+        """
+        if self._committed:
+            raise RuntimeError("batch already committed")
+        self._committed = True
+        speaker = self._speaker
+        final_changes = speaker._reselect_batch(list(self._pending))
+        changes = self._reconcile_transitions(final_changes)
+        changes.extend(final_changes)
+        if changes:
+            for listener in speaker._best_route_listeners:
+                listener(changes)
+        return changes
+
+    def _reconcile_transitions(
+        self, final_changes: List[BestRouteChange]
+    ) -> List[BestRouteChange]:
+        """Synthesise the transient events the coalesced changes hide.
+
+        Every tracked down (up) transition corresponds to one per-message
+        loss (recovery) event.  The final change of a prefix already reports
+        at most one of each — its last down when the prefix ends the batch
+        unreachable, its last up when it ends reachable after starting
+        unreachable — so those are skipped and every other transition is
+        emitted as a synthetic event.
+        """
+        transitions = self._transitions
+        if not transitions:
+            return []
+        loss_covered = {
+            change.prefix for change in final_changes if change.is_loss_of_reachability
+        }
+        recovery_covered = {
+            change.prefix for change in final_changes if change.is_recovery
+        }
+        last_down: Dict[Prefix, int] = {}
+        last_up: Dict[Prefix, int] = {}
+        for index, (prefix, went_down, _) in enumerate(transitions):
+            if went_down:
+                last_down[prefix] = index
+            else:
+                last_up[prefix] = index
+        synthetic: List[BestRouteChange] = []
+        for index, (prefix, went_down, entry) in enumerate(transitions):
+            if went_down:
+                if prefix in loss_covered and last_down[prefix] == index:
+                    continue
+                synthetic.append(BestRouteChange(prefix=prefix, old=entry, new=None))
+            else:
+                if prefix in recovery_covered and last_up[prefix] == index:
+                    continue
+                synthetic.append(BestRouteChange(prefix=prefix, old=None, new=entry))
+        return synthetic

@@ -124,7 +124,13 @@ class TagLayout:
 
 @dataclass
 class EncodedTags:
-    """The result of running the encoder over a RIB snapshot."""
+    """The result of running the encoder over a RIB snapshot.
+
+    ``link_loads``, ``next_hop_counts`` and ``fully_encoded`` carry the
+    encoder's working state forward so that a later
+    :meth:`TagEncoder.encode_delta` can re-encode only the prefixes whose
+    routes changed; they are implementation details of that incremental path.
+    """
 
     config: EncoderConfig
     layout: TagLayout
@@ -133,6 +139,9 @@ class EncodedTags:
     next_hop_ids: Dict[int, int]
     encoded_prefix_count: int
     skipped_links: List[Tuple[Link, int, int]] = field(default_factory=list)
+    link_loads: Dict[Tuple[Link, int], int] = field(default_factory=dict)
+    next_hop_counts: Dict[int, int] = field(default_factory=dict)
+    fully_encoded: Set[Prefix] = field(default_factory=set)
 
     @property
     def encoded_links(self) -> FrozenSet[Tuple[Link, int]]:
@@ -186,35 +195,138 @@ class TagEncoder:
         link_loads = self._link_loads(best_paths)
         link_ids = self._allocate_link_ids(link_loads)
         layout = self._build_layout(link_ids)
-        next_hop_ids = self._allocate_next_hop_ids(best_paths, backups, neighbors)
+        next_hop_counts = self._next_hop_counts(best_paths, backups, neighbors)
+        next_hop_ids = self._ids_from_counts(next_hop_counts)
 
         tags: Dict[Prefix, int] = {}
-        encoded_count = 0
+        fully: Set[Prefix] = set()
         for prefix, path in best_paths.items():
             tag, fully_encoded = self._tag_for(
                 prefix, path, backups.get(prefix, {}), link_ids, next_hop_ids, layout
             )
             tags[prefix] = tag
             if fully_encoded:
-                encoded_count += 1
+                fully.add(prefix)
 
-        skipped = [
-            (link, position, load)
-            for (link, position), load in sorted(
-                link_loads.items(), key=lambda item: -item[1]
-            )
-            if link not in link_ids.get(position, {})
-            and load >= config.prefix_threshold
-        ]
         return EncodedTags(
             config=config,
             layout=layout,
             tags=tags,
             link_ids=link_ids,
             next_hop_ids=next_hop_ids,
-            encoded_prefix_count=encoded_count,
-            skipped_links=skipped,
+            encoded_prefix_count=len(fully),
+            skipped_links=self._skipped_links(link_loads, link_ids),
+            link_loads=link_loads,
+            next_hop_counts=next_hop_counts,
+            fully_encoded=fully,
         )
+
+    def encode_delta(
+        self,
+        previous: EncodedTags,
+        changes: Sequence[
+            Tuple[
+                Prefix,
+                Optional[ASPath],
+                Optional[ASPath],
+                Sequence[int],
+                Mapping[Link, "BackupSelection"],
+            ]
+        ],
+        neighbors: Optional[Sequence[int]] = None,
+    ) -> Optional[Tuple[EncodedTags, Dict[Prefix, Optional[int]]]]:
+        """Re-encode only the changed prefixes on top of a previous encoding.
+
+        ``changes`` carries one entry per prefix whose best route or backups
+        changed since ``previous`` was produced: ``(prefix, old_path,
+        new_path, old_backup_next_hops, new_backups)`` with ``None`` paths
+        meaning absent.  The link loads and next-hop counts are patched by
+        the route deltas and the identifier allocations recomputed (cheap —
+        proportional to the number of distinct links, not prefixes).  When
+        both allocations land exactly where they were, only the changed
+        prefixes' tags are rebuilt and the result is ``(new EncodedTags,
+        {prefix: new tag or None})`` — the second element being the stage-1
+        patch for the forwarding table.  When an allocation shifted, returns
+        ``None`` and the caller must run a full :meth:`encode`.
+        """
+        config = self.config
+        link_loads = dict(previous.link_loads)
+        next_hop_counts = dict(previous.next_hop_counts)
+        neighbor_set = set(neighbors or ())
+
+        for prefix, old_path, new_path, old_backup_hops, new_backups in changes:
+            if old_path is not None:
+                for link, position in old_path.links_with_positions():
+                    if position > config.max_path_depth:
+                        break
+                    key = (link, position)
+                    load = link_loads.get(key, 0) - 1
+                    if load > 0:
+                        link_loads[key] = load
+                    else:
+                        link_loads.pop(key, None)
+                first = old_path.first_hop
+                if first is not None:
+                    next_hop_counts[first] = next_hop_counts.get(first, 0) - 1
+            for hop in old_backup_hops:
+                next_hop_counts[hop] = next_hop_counts.get(hop, 0) - 1
+            if new_path is not None:
+                for link, position in new_path.links_with_positions():
+                    if position > config.max_path_depth:
+                        break
+                    key = (link, position)
+                    link_loads[key] = link_loads.get(key, 0) + 1
+                first = new_path.first_hop
+                if first is not None:
+                    next_hop_counts[first] = next_hop_counts.get(first, 0) + 1
+            for selection in new_backups.values():
+                hop = selection.next_hop
+                next_hop_counts[hop] = next_hop_counts.get(hop, 0) + 1
+        for hop in [h for h, count in next_hop_counts.items() if count <= 0]:
+            if hop in neighbor_set:
+                next_hop_counts[hop] = max(0, next_hop_counts[hop])
+            else:
+                del next_hop_counts[hop]
+
+        link_ids = self._allocate_link_ids(link_loads)
+        next_hop_ids = self._ids_from_counts(next_hop_counts)
+        if link_ids != previous.link_ids or next_hop_ids != previous.next_hop_ids:
+            return None
+
+        layout = previous.layout
+        tags = dict(previous.tags)
+        fully = set(previous.fully_encoded)
+        tag_patch: Dict[Prefix, Optional[int]] = {}
+        for prefix, _, new_path, _, new_backups in changes:
+            if new_path is None:
+                if tags.pop(prefix, None) is not None:
+                    tag_patch[prefix] = None
+                fully.discard(prefix)
+                continue
+            tag, fully_encoded = self._tag_for(
+                prefix, new_path, new_backups, link_ids, next_hop_ids, layout
+            )
+            if tags.get(prefix) != tag:
+                tag_patch[prefix] = tag
+            tags[prefix] = tag
+            if fully_encoded:
+                fully.add(prefix)
+            else:
+                fully.discard(prefix)
+
+        encoded = EncodedTags(
+            config=config,
+            layout=layout,
+            tags=tags,
+            link_ids=link_ids,
+            next_hop_ids=next_hop_ids,
+            encoded_prefix_count=len(fully),
+            skipped_links=self._skipped_links(link_loads, link_ids),
+            link_loads=link_loads,
+            next_hop_counts=next_hop_counts,
+            fully_encoded=fully,
+        )
+        return encoded, tag_patch
 
     def reroute_rules(
         self,
@@ -354,13 +466,13 @@ class TagEncoder:
             layout.backup_groups[depth] = (depth * width, width)
         return layout
 
-    def _allocate_next_hop_ids(
+    def _next_hop_counts(
         self,
         best_paths: Mapping[Prefix, ASPath],
         backups: Mapping[Prefix, Mapping[Link, BackupSelection]],
         neighbors: Optional[Sequence[int]],
     ) -> Dict[int, int]:
-        """Assign identifiers (1..max) to next-hop neighbors, busiest first."""
+        """Usage count of every next-hop neighbor (the allocation input)."""
         counts: Dict[int, int] = {}
         if neighbors:
             for neighbor in neighbors:
@@ -372,9 +484,28 @@ class TagEncoder:
         for per_link in backups.values():
             for selection in per_link.values():
                 counts[selection.next_hop] = counts.get(selection.next_hop, 0) + 1
+        return counts
+
+    def _ids_from_counts(self, counts: Mapping[int, int]) -> Dict[int, int]:
+        """Assign identifiers (1..max) to next-hop neighbors, busiest first."""
         ordered = sorted(counts, key=lambda asn: (-counts[asn], asn))
         limit = self.config.max_next_hops
         return {asn: index + 1 for index, asn in enumerate(ordered[:limit])}
+
+    def _skipped_links(
+        self,
+        link_loads: Mapping[Tuple[Link, int], int],
+        link_ids: Mapping[int, Mapping[Link, int]],
+    ) -> List[Tuple[Link, int, int]]:
+        """Threshold-eligible (link, position) pairs the bit budget rejected."""
+        return [
+            (link, position, load)
+            for (link, position), load in sorted(
+                link_loads.items(), key=lambda item: -item[1]
+            )
+            if link not in link_ids.get(position, {})
+            and load >= self.config.prefix_threshold
+        ]
 
     def _tag_for(
         self,

@@ -396,6 +396,20 @@ class FitScoreCalculator:
         canonical = tuple(sorted({_canonical(link) for link in links}))
         withdrawn = sum(self.withdrawal_count(link) for link in canonical)
         routed = sum(self.still_routed_count(link) for link in canonical)
+        return self.score_from_counts(canonical, withdrawn, routed)
+
+    def score_from_counts(
+        self, links: Sequence[Link], withdrawn: int, routed: int
+    ) -> LinkScore:
+        """Multi-link score from already-summed W/P counts.
+
+        The incremental-aggregation path of the inference engine maintains
+        running ``sum W(l, t)`` / ``sum P(l, t)`` totals while it grows a
+        link aggregate; this constructor turns those running sums into a
+        :class:`LinkScore` without re-querying every member link.  For
+        distinct canonical ``links`` it is arithmetically identical to
+        :meth:`score_set`.
+        """
         ws = (
             min(1.0, withdrawn / self._total_withdrawals)
             if self._total_withdrawals
@@ -403,7 +417,7 @@ class FitScoreCalculator:
         )
         ps = withdrawn / (withdrawn + routed) if (withdrawn + routed) else 0.0
         return LinkScore(
-            links=canonical,
+            links=tuple(sorted(links)),
             withdrawal_share=ws,
             path_share=ps,
             fit_score=self._combine(ws, ps),

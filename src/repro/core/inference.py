@@ -285,6 +285,46 @@ class InferenceEngine:
         """Feed a whole stream; returns every accepted inference."""
         return self.process_batch(messages)
 
+    def apply_rib_delta(
+        self, delta: Mapping[Prefix, Optional[ASPath]]
+    ) -> None:
+        """Patch the engine's RIB view from out-of-band route changes.
+
+        Used by :meth:`repro.core.swifted_router.SwiftedRouter.provision` to
+        keep a long-lived engine in sync with Adj-RIB-In mutations that did
+        not flow through :meth:`process_message` (e.g. initial table loads):
+        ``path=None`` removes the prefix, anything else (re)installs it.  The
+        persistent index absorbs each entry in O(path length) — no rebuild.
+        Re-provisioning is a quiet-time operation; applying a delta while a
+        burst is being tracked would bypass the burst-local overlay.
+        """
+        rib = self._rib
+        index = self._index
+        for prefix, path in delta.items():
+            if path is None:
+                rib.pop(prefix, None)
+                index.remove_prefix(prefix)
+            else:
+                rib[prefix] = path
+                index.set_path(prefix, path)
+
+    def flush_quiet_state(self) -> None:
+        """Fold buffered quiet-time withdrawals into the RIB view.
+
+        Outside a burst, withdrawals sit in a detection-window buffer for up
+        to ``window_seconds`` before they age out of the engine's RIB view.
+        Re-provisioning treats them as settled churn immediately — exactly
+        the state a from-scratch rebuild from the Adj-RIB-In would observe —
+        so a kept-alive engine stays interchangeable with a rebuilt one.
+        No-op while a burst is being tracked.
+        """
+        if self._in_burst:
+            return
+        while self._recent_withdrawals:
+            _, prefix = self._recent_withdrawals.popleft()
+            self._rib.pop(prefix, None)
+            self._index.remove_prefix(prefix)
+
     def force_inference(self, timestamp: float) -> Optional[InferenceResult]:
         """Run an inference immediately, bypassing the triggering schedule.
 
@@ -443,12 +483,24 @@ class InferenceEngine:
         the aggregated links does not increase anymore", §4.2).  All
         candidates (single links or aggregates) whose score ties with the
         maximum are returned.
+
+        The aggregate is scored incrementally: the per-link W/P counts are
+        already on each candidate's :class:`LinkScore`, so each trial adds
+        them to running sums instead of re-summing the whole set via
+        :meth:`FitScoreCalculator.score_set` — O(1) per considered link
+        instead of O(aggregate size) (ROADMAP perf idea #5).  The arithmetic
+        is identical to :meth:`score_set` on distinct canonical links.
         """
         best_single = scores[0]
         tolerance = self.config.score_tolerance
+        # Calculators without the incremental hook (e.g. the retained seed
+        # reference implementation) fall back to the full re-summation.
+        score_from_counts = getattr(calculator, "score_from_counts", None)
 
         aggregate_links: List[Link] = [best_single.links[0]]
         aggregate_score = best_single
+        aggregate_withdrawn = best_single.withdrawn_count
+        aggregate_routed = best_single.still_routed_count
         common_endpoints: Set[int] = set(best_single.links[0])
         rounds = 0
         for candidate in scores[1:]:
@@ -459,10 +511,19 @@ class InferenceEngine:
             if not shared:
                 continue
             trial_links = aggregate_links + [link]
-            trial_score = calculator.score_set(trial_links)
+            if score_from_counts is not None:
+                trial_score = score_from_counts(
+                    trial_links,
+                    aggregate_withdrawn + candidate.withdrawn_count,
+                    aggregate_routed + candidate.still_routed_count,
+                )
+            else:
+                trial_score = calculator.score_set(trial_links)
             if trial_score.fit_score > aggregate_score.fit_score + tolerance:
                 aggregate_links = trial_links
                 aggregate_score = trial_score
+                aggregate_withdrawn = trial_score.withdrawn_count
+                aggregate_routed = trial_score.still_routed_count
                 common_endpoints = shared
                 rounds += 1
 

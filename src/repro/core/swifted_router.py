@@ -20,9 +20,21 @@ update latency.  When BGP has re-converged (the burst ends), the SWIFT rules
 are withdrawn and forwarding falls back to the BGP-derived state (§3).
 
 Message streams should be fed through :meth:`SwiftedRouter.receive_batch`
-where possible: consecutive same-peer runs are handed to the session's
-inference engine in bulk, keeping per-message Python overhead off the burst
-hot path.
+where possible: the speaker applies the whole batch before running best-path
+selection once per touched prefix, and consecutive same-peer runs are handed
+to the session's inference engine in bulk, keeping per-message Python
+overhead off the burst hot path.
+
+Re-provisioning is *incremental*: :meth:`SwiftedRouter.provision` keeps the
+per-session :class:`~repro.core.inference.InferenceEngine`\\ s (and their
+link/prefix indexes) alive, patching them from the speaker's route-change
+stream, and only recomputes backup selections for prefixes whose best route
+actually changed since the last call.  A warm re-provision therefore costs
+O(changes), not O(RIB) — the paper's "re-runs it periodically / upon
+significant RIB changes" loop becomes cheap enough to run after every quiet
+period.  Pass ``full_rebuild=True`` to force the from-scratch path (also
+taken automatically when the rerouting policy carries capacity limits, whose
+global usage accounting is inherently non-incremental).
 """
 
 from __future__ import annotations
@@ -33,8 +45,8 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 from repro.bgp.attributes import ASPath
 from repro.bgp.messages import BGPMessage, Update
 from repro.bgp.prefix import Prefix
-from repro.bgp.rib import RibEntry
-from repro.bgp.speaker import BGPSpeaker
+from repro.bgp.rib import RibEntry, RouteChange, RouteChangeKind
+from repro.bgp.speaker import BestRouteChange, BGPSpeaker
 from repro.core.backup import BackupComputer, BackupSelection, ReroutingPolicy
 from repro.core.encoding import EncodedTags, EncoderConfig, TagEncoder, WildcardRule
 from repro.core.history import HistoryModel
@@ -105,14 +117,34 @@ class SwiftedRouter:
         self._engines: Dict[int, InferenceEngine] = {}
         self._encoded: Optional[EncodedTags] = None
         self._backup_table: Dict[Prefix, Dict[Link, BackupSelection]] = {}
+        # Per-prefix metadata mirroring the backup table: for every selection,
+        # (next_hop, links of its path, ASes of its path) — precomputed once
+        # per provision so inference-time fallback scans avoid re-deriving
+        # path links per prefix (see _backups_for_link).
+        self._backup_aux: Dict[Prefix, Tuple[Tuple[int, FrozenSet[Link], FrozenSet[int]], ...]] = {}
+        # Best-path snapshot at the last encode, for per-prefix delta
+        # re-encoding on warm provisions.
+        self._encoded_paths: Dict[Prefix, ASPath] = {}
         self.reroutes: List[RerouteAction] = []
         self._provisioned = False
+        # Incremental-provision bookkeeping: prefixes whose candidate routes
+        # changed since the last provision (a superset of best-route changes —
+        # an alternate appearing or vanishing also invalidates the prefix's
+        # backup selections), and per-peer Adj-RIB-In deltas the inference
+        # engines have not seen (routes loaded out-of-band, i.e. not through
+        # receive()/receive_batch()).
+        self._provision_dirty: Set[Prefix] = set()
+        self._engine_dirty: Dict[int, Dict[Prefix, Optional[ASPath]]] = {}
+        self._provisioned_peers: FrozenSet[int] = frozenset()
+        self._feeding_engines = False
+        self.last_provision_stats: Dict[str, int] = {}
 
     # -- session management --------------------------------------------------
 
     def add_peer(self, peer_as: int, name: Optional[str] = None) -> None:
         """Create a peering session with ``peer_as``."""
-        self.speaker.add_peer(peer_as, name=name)
+        session = self.speaker.add_peer(peer_as, name=name)
+        session.add_observer(self._note_session_update)
 
     def load_initial_routes(
         self,
@@ -125,57 +157,220 @@ class SwiftedRouter:
 
         ``local_pref`` lets the caller express the operator's preference
         between neighbors (e.g. the paper's Fig. 1 router prefers its path
-        through AS 2 even though AS 3 offers a shorter one).
+        through AS 2 even though AS 3 offers a shorter one).  The routes are
+        fed through the speaker's batched path, so best-path selection runs
+        once per prefix regardless of the table size; path attributes are
+        interned per distinct (AS path, LOCAL_PREF) so path-sharing prefix
+        groups share one attribute object — real tables repeat a few
+        thousand attribute sets across hundreds of thousands of prefixes,
+        and the sharing is what lets the batched decision path collapse a
+        group into a single selection.
         """
         from repro.bgp.attributes import PathAttributes  # local import to avoid cycle
 
-        for prefix in sorted(routes):
-            attributes = PathAttributes(
-                as_path=routes[prefix], next_hop=peer_as, local_pref=local_pref
-            )
-            self.speaker.receive(
-                Update.announce(timestamp, peer_as, prefix, attributes)
-            )
+        interned: Dict[Tuple[Tuple[int, ...], int], PathAttributes] = {}
+
+        def attributes_for(prefix: Prefix) -> PathAttributes:
+            path = routes[prefix]
+            key = (path.asns, local_pref)
+            attributes = interned.get(key)
+            if attributes is None:
+                attributes = interned[key] = PathAttributes(
+                    as_path=path, next_hop=peer_as, local_pref=local_pref
+                )
+            return attributes
+
+        self.speaker.receive_batch(
+            Update.announce(timestamp, peer_as, prefix, attributes_for(prefix))
+            for prefix in sorted(routes)
+        )
+
+    # -- change tracking ------------------------------------------------------
+
+    def _note_session_update(
+        self, session, update: Update, changes: List[RouteChange]
+    ) -> None:
+        """Session observer feeding the incremental-provision bookkeeping.
+
+        Every candidate-route change marks its prefix dirty for the next
+        :meth:`provision`.  Messages flowing through :meth:`receive` /
+        :meth:`receive_batch` reach the session's inference engine directly
+        (which maintains its own RIB view with burst-aware semantics);
+        everything else — initial table loads, direct speaker use — also
+        accumulates an Adj-RIB-In delta replayed into the engine at the next
+        :meth:`provision`.
+        """
+        dirty = self._provision_dirty
+        delta: Optional[Dict[Prefix, Optional[ASPath]]] = None
+        if not self._feeding_engines:
+            delta = self._engine_dirty.setdefault(session.peer_as, {})
+        for change in changes:
+            if change.kind == RouteChangeKind.UNCHANGED:
+                continue
+            dirty.add(change.prefix)
+            if delta is not None:
+                delta[change.prefix] = (
+                    change.new.as_path if change.new is not None else None
+                )
 
     # -- provisioning -----------------------------------------------------------
 
-    def provision(self) -> EncodedTags:
+    def provision(self, full_rebuild: bool = False) -> EncodedTags:
         """Pre-compute backups, tags and the default forwarding rules (§3.2).
 
         Must be called after the initial routes are loaded and before the
         burst arrives; a real deployment re-runs it periodically / upon
-        significant RIB changes.
+        significant RIB changes.  Re-runs are incremental: engines stay alive
+        and are patched from the recorded route-change stream, and backup /
+        tag computation only re-runs for prefixes whose best route changed.
+        ``full_rebuild=True`` forces the from-scratch path; rerouting
+        policies with capacity limits always take it, because their global
+        usage accounting cannot be patched per prefix.
         """
+        peers = frozenset(self.speaker.peer_ases)
+        incremental = (
+            self._provisioned
+            and not full_rebuild
+            and peers == self._provisioned_peers
+            and not self.config.policy.capacity_limits
+        )
         best_routes: Dict[Prefix, RibEntry] = {
             entry.prefix: entry for entry in self.speaker.loc_rib.best_entries()
         }
-        self._backup_table = self.backup_computer.compute_table(
-            self.local_as, best_routes, self.speaker.alternate_routes
-        )
+        if incremental:
+            dirty = self._provision_dirty
+            self.last_provision_stats = {
+                "mode": 1,
+                "dirty_prefixes": len(dirty),
+                "engine_deltas": sum(len(d) for d in self._engine_dirty.values()),
+            }
+            # Provisioning restores BGP-derived forwarding: any SWIFT rules
+            # still installed are dropped, exactly as the full rebuild's
+            # clear_rules() does.
+            self.forwarding.clear_rules(min_priority=SWIFT_RULE_PRIORITY)
+            if dirty:
+                # Recompute backups only for the dirty prefixes, collecting
+                # the per-prefix encoding deltas as we go.
+                changes: List[
+                    Tuple[Prefix, Optional[ASPath], Optional[ASPath], Tuple[int, ...], Dict[Link, BackupSelection]]
+                ] = []
+                for prefix in dirty:
+                    old_path = self._encoded_paths.get(prefix)
+                    old_hops = tuple(
+                        item[0] for item in self._backup_aux.get(prefix, ())
+                    )
+                    best = best_routes.get(prefix)
+                    if best is None:
+                        self._backup_table.pop(prefix, None)
+                        self._backup_aux.pop(prefix, None)
+                        self._encoded_paths.pop(prefix, None)
+                        changes.append((prefix, old_path, None, old_hops, {}))
+                        continue
+                    per_link = self._compute_prefix_backups(prefix, best)
+                    if per_link:
+                        self._backup_table[prefix] = per_link
+                        self._backup_aux[prefix] = self._aux_of(per_link)
+                    else:
+                        self._backup_table.pop(prefix, None)
+                        self._backup_aux.pop(prefix, None)
+                    self._encoded_paths[prefix] = best.as_path
+                    changes.append(
+                        (prefix, old_path, best.as_path, old_hops, per_link)
+                    )
+                assert self._encoded is not None
+                delta = self.encoder.encode_delta(
+                    self._encoded, changes, neighbors=self.speaker.peer_ases
+                )
+                if delta is None:
+                    # The identifier allocation moved: fall back to a full
+                    # re-encode (backups above are already patched).
+                    self._reencode(best_routes)
+                    self.last_provision_stats["full_reencode"] = 1
+                else:
+                    self._encoded, tag_patch = delta
+                    self.forwarding.update_tags(tag_patch)
+                    self.last_provision_stats["tag_patch"] = len(tag_patch)
+        else:
+            self.last_provision_stats = {"mode": 0, "dirty_prefixes": len(best_routes)}
+            self._backup_table = self.backup_computer.compute_table(
+                self.local_as, best_routes, self.speaker.alternate_routes
+            )
+            self._backup_aux = {
+                prefix: self._aux_of(per_link)
+                for prefix, per_link in self._backup_table.items()
+            }
+            self._reencode(best_routes)
+
+        self._refresh_engines(rebuild=not incremental)
+        self._provision_dirty.clear()
+        self._engine_dirty.clear()
+        self._provisioned_peers = peers
+        self._provisioned = True
+        assert self._encoded is not None
+        return self._encoded
+
+    def _reencode(self, best_routes: Mapping[Prefix, RibEntry]) -> None:
+        """Re-run the full tag encoding and reload the forwarding state."""
         best_paths = {prefix: entry.as_path for prefix, entry in best_routes.items()}
         self._encoded = self.encoder.encode(
             best_paths, self._backup_table, neighbors=self.speaker.peer_ases
         )
-
+        self._encoded_paths = best_paths
         self.forwarding.clear_rules()
         self.forwarding.load_tags(self._encoded.tags)
         self._install_default_rules()
 
-        # (Re-)create one inference engine per session from its Adj-RIB-In.
-        self._engines = {}
+    def _refresh_engines(self, rebuild: bool) -> None:
+        """Create, patch or drop the per-session inference engines."""
+        live_peers = set()
         for session in self.speaker.sessions():
-            rib = {
-                entry.prefix: entry.as_path for entry in session.rib_in.entries()
-            }
-            self._engines[session.peer_as] = InferenceEngine(
-                rib,
-                config=self.config.inference,
-                history=self._history,
-                local_as=self.local_as,
-                peer_as=session.peer_as,
+            live_peers.add(session.peer_as)
+            engine = self._engines.get(session.peer_as)
+            if engine is None or rebuild:
+                rib = {
+                    entry.prefix: entry.as_path for entry in session.rib_in.entries()
+                }
+                self._engines[session.peer_as] = InferenceEngine(
+                    rib,
+                    config=self.config.inference,
+                    history=self._history,
+                    local_as=self.local_as,
+                    peer_as=session.peer_as,
+                )
+            else:
+                engine.flush_quiet_state()
+                delta = self._engine_dirty.get(session.peer_as)
+                if delta:
+                    engine.apply_rib_delta(delta)
+        for peer_as in list(self._engines):
+            if peer_as not in live_peers:
+                del self._engines[peer_as]
+
+    def _compute_prefix_backups(
+        self, prefix: Prefix, best: RibEntry
+    ) -> Dict[Link, BackupSelection]:
+        """Backup selections for one prefix (capacity-free incremental path)."""
+        alternates = self.speaker.alternate_routes(prefix)
+        per_link: Dict[Link, BackupSelection] = {}
+        for link in self.backup_computer.protected_links(best.as_path, self.local_as):
+            selection = self.backup_computer.select(prefix, link, alternates)
+            if selection is not None:
+                per_link[link] = selection
+        return per_link
+
+    @staticmethod
+    def _aux_of(
+        per_link: Mapping[Link, BackupSelection]
+    ) -> Tuple[Tuple[int, FrozenSet[Link], FrozenSet[int]], ...]:
+        """Per-selection (next_hop, path links, path ASes) in table order."""
+        return tuple(
+            (
+                selection.next_hop,
+                frozenset(selection.as_path.links()),
+                frozenset(selection.as_path.asns),
             )
-        self._provisioned = True
-        return self._encoded
+            for selection in per_link.values()
+        )
 
     def _install_default_rules(self) -> None:
         """Default stage-2 rules: forward on the primary next-hop of the tag."""
@@ -196,11 +391,15 @@ class SwiftedRouter:
         """Process one BGP message; returns a reroute action if SWIFT fires."""
         if not self._provisioned:
             raise RuntimeError("provision() must be called before receiving updates")
-        self.speaker.receive(message)
-        engine = self._engines.get(message.peer_as)
-        if engine is None:
-            return None
-        result = engine.process_message(message)
+        self._feeding_engines = True
+        try:
+            self.speaker.receive(message)
+            engine = self._engines.get(message.peer_as)
+            if engine is None:
+                return None
+            result = engine.process_message(message)
+        finally:
+            self._feeding_engines = False
         if result is None:
             return None
         return self._apply_inference(message.peer_as, result)
@@ -208,23 +407,26 @@ class SwiftedRouter:
     def receive_batch(self, messages: Iterable[BGPMessage]) -> List[RerouteAction]:
         """Process a batch of messages; returns every reroute action.
 
-        Messages are fed to the speaker one by one (its RIB state is
-        order-sensitive) but handed to each session's inference engine in
-        consecutive same-peer runs via
-        :meth:`~repro.core.inference.InferenceEngine.process_batch`, avoiding
-        per-message engine dispatch on the hot path.  Reroute application only
-        reads the provision-time tables, so batching does not change the
-        resulting actions.
+        The speaker applies the whole batch's Adj-RIB-In / candidate changes
+        as messages stream in and runs best-path selection once per touched
+        prefix at the end (:class:`~repro.bgp.speaker.SpeakerBatch`), while
+        each session's inference engine receives consecutive same-peer runs
+        via :meth:`~repro.core.inference.InferenceEngine.process_batch` —
+        per-message Python overhead stays off the burst hot path on both
+        sides.  Reroute application only reads the provision-time tables, so
+        batching does not change the resulting actions.
         """
         if not self._provisioned:
             raise RuntimeError("provision() must be called before receiving updates")
         actions: List[RerouteAction] = []
         run: List[BGPMessage] = []
         run_peer: Optional[int] = None
+        batch = self.speaker.begin_batch()
 
         def flush() -> None:
             if not run:
                 return
+            batch.add_run(run_peer, run)
             engine = self._engines.get(run_peer)
             if engine is not None:
                 for result in engine.process_batch(run):
@@ -233,13 +435,17 @@ class SwiftedRouter:
                         actions.append(action)
             run.clear()
 
-        for message in messages:
-            self.speaker.receive(message)
-            if message.peer_as != run_peer:
-                flush()
-                run_peer = message.peer_as
-            run.append(message)
-        flush()
+        self._feeding_engines = True
+        try:
+            for message in messages:
+                if message.peer_as != run_peer:
+                    flush()
+                    run_peer = message.peer_as
+                run.append(message)
+            flush()
+            batch.commit()
+        finally:
+            self._feeding_engines = False
         return actions
 
     def receive_all(self, messages: Iterable[BGPMessage]) -> List[RerouteAction]:
@@ -291,36 +497,36 @@ class SwiftedRouter:
         """
         link = link if link[0] <= link[1] else (link[1], link[0])
         counts: Dict[int, int] = {}
+        backup_table = self._backup_table
+        backup_aux = self._backup_aux
         for prefix in prefixes:
-            per_link = self._backup_table.get(prefix)
+            per_link = backup_table.get(prefix)
             if not per_link:
                 continue
+            # The provision-time aux table mirrors per_link.values(): one
+            # (next_hop, path links, path ASes) triple per selection, so the
+            # fallback scans below are set lookups instead of re-deriving
+            # every backup path's links per prefix per inference.
+            aux = backup_aux.get(prefix)
+            if aux is None:
+                aux = backup_aux[prefix] = self._aux_of(per_link)
             selection = per_link.get(link)
-            if selection is None:
+            next_hop = selection.next_hop if selection is not None else None
+            if next_hop is None:
                 # Fall back to any backup of the prefix avoiding the inferred
                 # link (e.g. the link was not individually protected).
-                selection = next(
-                    (
-                        candidate
-                        for candidate in per_link.values()
-                        if link not in candidate.as_path.links()
-                    ),
-                    None,
-                )
-            if selection is not None and shared_endpoints:
-                safer = next(
-                    (
-                        candidate
-                        for candidate in per_link.values()
-                        if not (shared_endpoints & set(candidate.as_path.asns))
-                    ),
-                    None,
-                )
-                if safer is not None:
-                    selection = safer
-            if selection is None:
+                for candidate_hop, path_links, _ in aux:
+                    if link not in path_links:
+                        next_hop = candidate_hop
+                        break
+            if next_hop is not None and shared_endpoints:
+                for candidate_hop, _, path_asns in aux:
+                    if not (shared_endpoints & path_asns):
+                        next_hop = candidate_hop
+                        break
+            if next_hop is None:
                 continue
-            counts[selection.next_hop] = counts.get(selection.next_hop, 0) + 1
+            counts[next_hop] = counts.get(next_hop, 0) + 1
         return counts
 
     def clear_reroutes(self) -> int:

@@ -121,6 +121,23 @@ class TwoStageForwardingTable:
             self._stage1.insert(prefix, tag)
         self.stage1_updates += len(tags)
 
+    def update_tags(self, patch: Dict[Prefix, Optional[int]]) -> None:
+        """Patch stage 1 in place: set or (``None``) remove individual tags.
+
+        The incremental re-provisioning path uses this instead of reloading
+        every tag, so a warm provision's forwarding update is proportional
+        to the number of changed prefixes.
+        """
+        for prefix, tag in patch.items():
+            if tag is None:
+                try:
+                    self._stage1.remove(prefix)
+                except KeyError:
+                    pass
+            else:
+                self._stage1.insert(prefix, tag)
+        self.stage1_updates += len(patch)
+
     def tag_of(self, destination: int) -> Optional[int]:
         """Tag that stage 1 would stamp on a packet for ``destination``."""
         match = self._stage1.lookup(destination)

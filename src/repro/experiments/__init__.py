@@ -19,6 +19,11 @@ Fig. 9(a) (case-study speedup)  :mod:`repro.experiments.fig9`
 ==============================  =========================================
 """
 
-from repro.experiments.common import BurstEvaluation, burst_corpus, evaluate_burst
+from repro.experiments.common import (
+    BurstEvaluation,
+    burst_corpus,
+    cached_corpus,
+    evaluate_burst,
+)
 
-__all__ = ["BurstEvaluation", "burst_corpus", "evaluate_burst"]
+__all__ = ["BurstEvaluation", "burst_corpus", "cached_corpus", "evaluate_burst"]

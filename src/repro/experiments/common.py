@@ -30,7 +30,13 @@ from repro.traces.synthetic import (
     SyntheticTraceGenerator,
 )
 
-__all__ = ["BurstEvaluation", "CorpusBurst", "burst_corpus", "evaluate_burst"]
+__all__ = [
+    "BurstEvaluation",
+    "CorpusBurst",
+    "burst_corpus",
+    "cached_corpus",
+    "evaluate_burst",
+]
 
 
 @dataclass(frozen=True)
@@ -126,6 +132,20 @@ def burst_corpus(
             )
         )
     return corpus
+
+
+def cached_corpus(**kwargs) -> List[CorpusBurst]:
+    """Memoised :func:`burst_corpus`: generated once, reloaded from disk after.
+
+    Accepts the same keyword arguments; the cache key is derived from them
+    (and the trace-cache version), so distinct corpora coexist.  Used by the
+    benchmark fixtures, where regenerating the corpus dominated session
+    start-up time.
+    """
+    from repro.traces.trace_cache import load_or_build
+
+    spec = repr(sorted(kwargs.items()))
+    return load_or_build("corpus", spec, lambda: burst_corpus(**kwargs))
 
 
 def evaluate_burst(

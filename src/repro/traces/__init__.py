@@ -20,16 +20,20 @@ from repro.traces.mrt import TraceRecord, TraceReader, TraceWriter, records_to_m
 from repro.traces.popularity import POPULAR_ORGANIZATIONS, PopularOrigin, is_popular_asn
 from repro.traces.session_topology import SessionTopology, SessionTopologyConfig
 from repro.traces.synthetic import (
+    BurstPlan,
     SyntheticBurst,
     SyntheticTrace,
     SyntheticTraceConfig,
     SyntheticTraceGenerator,
+    SyntheticTraceStream,
+    cached_trace,
 )
 
 __all__ = [
     "Burst",
     "BurstExtractionConfig",
     "BurstExtractor",
+    "BurstPlan",
     "Collector",
     "CollectorPeer",
     "POPULAR_ORGANIZATIONS",
@@ -40,10 +44,12 @@ __all__ = [
     "SyntheticTrace",
     "SyntheticTraceConfig",
     "SyntheticTraceGenerator",
+    "SyntheticTraceStream",
     "TraceReader",
     "TraceRecord",
     "TraceWriter",
     "build_collector_fleet",
+    "cached_trace",
     "is_popular_asn",
     "records_to_messages",
 ]

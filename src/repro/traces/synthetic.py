@@ -14,14 +14,29 @@ is *internally consistent*: it corresponds to the failure of a specific AS
 link in the session's AS-path structure, withdrawing (most of) the prefixes
 routed across that link and re-announcing some of them over alternate paths —
 which is exactly the structure the SWIFT inference algorithm exploits.
+
+Generation is *streaming-first*: :meth:`SyntheticTraceGenerator.stream`
+returns a :class:`SyntheticTraceStream` whose per-session message iterators
+materialise bursts and background noise lazily, in timestamp order — a cheap
+planning pass fixes every burst's size, start time and private RNG seed, and
+the (expensive) message lists are only built when the replay clock reaches
+each burst.  The eager API is a thin wrapper: ``generate()`` simply drains
+the stream (:meth:`SyntheticTraceStream.materialise`) into a
+:class:`SyntheticTrace`, so the two paths produce identical traces.  For the
+benchmark corpus, :mod:`repro.traces.trace_cache` adds an on-disk
+memoisation layer so month-long traces are generated once and reloaded in
+seconds.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import math
 import random
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.bgp.attributes import ASPath, PathAttributes
 from repro.bgp.messages import BGPMessage, Update
@@ -30,10 +45,12 @@ from repro.traces.collectors import Collector, CollectorPeer, build_collector_fl
 from repro.traces.session_topology import SessionTopology, SessionTopologyConfig
 
 __all__ = [
+    "BurstPlan",
     "SyntheticBurst",
     "SyntheticTrace",
     "SyntheticTraceConfig",
     "SyntheticTraceGenerator",
+    "SyntheticTraceStream",
 ]
 
 SECONDS_PER_DAY = 86400.0
@@ -169,8 +186,25 @@ class SyntheticTrace:
         return len(self.bursts)
 
 
+@dataclass(frozen=True)
+class BurstPlan:
+    """The cheap, pre-drawn parameters of one burst.
+
+    The planning pass fixes everything that determines a burst — its target
+    size, start time and a private RNG seed for the message materialisation —
+    without building a single message object.  Streaming replay materialises
+    a plan only when the session clock reaches ``start_time``.
+    """
+
+    peer: CollectorPeer
+    number: int
+    target_size: int
+    start_time: float
+    seed: int
+
+
 class SyntheticTraceGenerator:
-    """Generates :class:`SyntheticTrace` objects from a configuration."""
+    """Generates :class:`SyntheticTrace` / :class:`SyntheticTraceStream` objects."""
 
     def __init__(self, config: Optional[SyntheticTraceConfig] = None) -> None:
         self.config = config or SyntheticTraceConfig()
@@ -178,8 +212,8 @@ class SyntheticTraceGenerator:
 
     # -- public API ----------------------------------------------------------
 
-    def generate(self) -> SyntheticTrace:
-        """Generate the full multi-session trace."""
+    def stream(self) -> "SyntheticTraceStream":
+        """Return a lazy, per-session view of the trace (streaming-first API)."""
         config = self.config
         collectors = build_collector_fleet(
             peer_count=config.peer_count,
@@ -189,34 +223,16 @@ class SyntheticTraceGenerator:
             flapping_peers=config.flapping_peers,
         )
         peers = [peer for collector in collectors for peer in collector.peers]
+        return SyntheticTraceStream(self, peers)
 
-        topologies: Dict[int, SessionTopology] = {}
-        bursts: List[SyntheticBurst] = []
-        background: Dict[int, List[BGPMessage]] = {}
-        for index, peer in enumerate(peers):
-            topology = SessionTopology(
-                SessionTopologyConfig(
-                    peer_as=peer.peer_as,
-                    total_prefixes=peer.table_size,
-                    seed=config.seed * 1009 + index,
-                    prefix_base_octet=20 + (index % 60),
-                    base_asn=10000 + index * 500,
-                )
-            )
-            topologies[peer.peer_as] = topology
-            session_bursts = self._generate_session_bursts(peer, topology, index)
-            bursts.extend(session_bursts)
-            background[peer.peer_as] = self._generate_background(
-                peer, topology, index
-            )
-        bursts.sort(key=lambda burst: burst.start_time)
-        return SyntheticTrace(
-            config=config,
-            peers=peers,
-            topologies=topologies,
-            bursts=bursts,
-            background=background,
-        )
+    def generate(self) -> SyntheticTrace:
+        """Generate the full multi-session trace eagerly.
+
+        Thin wrapper over the streaming path: equivalent to
+        ``self.stream().materialise()``, kept as the convenient API for
+        callers that want every burst and message in memory.
+        """
+        return self.stream().materialise()
 
     def generate_burst(
         self,
@@ -240,9 +256,26 @@ class SyntheticTraceGenerator:
 
     # -- internals -------------------------------------------------------------
 
-    def _generate_session_bursts(
-        self, peer: CollectorPeer, topology: SessionTopology, index: int
-    ) -> List[SyntheticBurst]:
+    def _session_topology(self, peer: CollectorPeer, index: int) -> SessionTopology:
+        """Build the AS-path topology of one session (O(table size))."""
+        config = self.config
+        return SessionTopology(
+            SessionTopologyConfig(
+                peer_as=peer.peer_as,
+                total_prefixes=peer.table_size,
+                seed=config.seed * 1009 + index,
+                prefix_base_octet=20 + (index % 60),
+                base_asn=10000 + index * 500,
+            )
+        )
+
+    def _session_plans(self, peer: CollectorPeer, index: int) -> List[BurstPlan]:
+        """Draw the burst plans of one session, sorted by start time.
+
+        This is the cheap part of generation — a handful of RNG draws per
+        burst.  Each plan carries its own materialisation seed so bursts can
+        be built lazily, in any order, and still be deterministic.
+        """
         config = self.config
         rng = random.Random(config.seed * 7919 + index)
         expected = (
@@ -251,14 +284,34 @@ class SyntheticTraceGenerator:
             * (config.duration_days / 30.0)
         )
         count = _poisson(expected, rng)
-        bursts: List[SyntheticBurst] = []
-        for _ in range(count):
+        plans: List[BurstPlan] = []
+        for number in range(count):
             target = self._draw_burst_size(rng)
             start = rng.uniform(0.0, config.duration_seconds)
-            burst = self._build_burst(peer, topology, target, start, rng)
-            if burst is not None:
-                bursts.append(burst)
-        return bursts
+            seed = rng.getrandbits(61)
+            plans.append(
+                BurstPlan(
+                    peer=peer,
+                    number=number,
+                    target_size=target,
+                    start_time=start,
+                    seed=seed,
+                )
+            )
+        plans.sort(key=lambda plan: plan.start_time)
+        return plans
+
+    def _materialise_burst(
+        self, plan: BurstPlan, topology: SessionTopology
+    ) -> Optional[SyntheticBurst]:
+        """Build the messages of one planned burst (the expensive part)."""
+        return self._build_burst(
+            plan.peer,
+            topology,
+            plan.target_size,
+            plan.start_time,
+            random.Random(plan.seed),
+        )
 
     def _draw_burst_size(self, rng: random.Random) -> int:
         """Draw a burst size from the calibrated Pareto distribution."""
@@ -383,39 +436,180 @@ class SyntheticTraceGenerator:
         messages.sort(key=lambda m: m.timestamp)
         return messages
 
-    def _generate_background(
+    def _background_stream(
         self, peer: CollectorPeer, topology: SessionTopology, index: int
-    ) -> List[BGPMessage]:
+    ) -> Iterator[BGPMessage]:
         """Low-rate unrelated withdrawals/announcements across the whole trace.
 
-        The rate is chosen so that quiet 10 s windows carry well under the
-        paper's 1,500-withdrawal burst-start threshold (the observed noise
-        floor is ~9 withdrawals per 10 s at the 90th percentile).
+        Generated lazily as a Poisson process (exponential inter-arrivals),
+        so the messages come out in timestamp order without ever holding the
+        whole month in memory.  The rate is chosen so that quiet 10 s windows
+        carry well under the paper's 1,500-withdrawal burst-start threshold
+        (the observed noise floor is ~9 withdrawals per 10 s at the 90th
+        percentile).
         """
         config = self.config
         rng = random.Random(config.seed * 104729 + index)
         if config.noise_rate_per_second <= 0:
-            return []
+            return
         prefixes = list(topology.rib)
         if not prefixes:
-            return []
-        expected = config.noise_rate_per_second * config.duration_seconds
+            return
+        clock = 0.0
+        emitted = 0
         # Cap the background volume so month-long traces stay tractable.
-        count = min(_poisson(expected, rng), 200000)
-        messages: List[BGPMessage] = []
-        for _ in range(count):
+        while emitted < 200000:
+            clock += rng.expovariate(config.noise_rate_per_second)
+            if clock >= config.duration_seconds:
+                return
             prefix = prefixes[rng.randrange(len(prefixes))]
-            timestamp = rng.uniform(0.0, config.duration_seconds)
             if rng.random() < 0.5:
-                messages.append(Update.withdraw(timestamp, peer.peer_as, prefix))
+                yield Update.withdraw(clock, peer.peer_as, prefix)
             else:
                 path = topology.rib[prefix]
                 attributes = PathAttributes(as_path=path, next_hop=peer.peer_as)
-                messages.append(
-                    Update.announce(timestamp, peer.peer_as, prefix, attributes)
+                yield Update.announce(clock, peer.peer_as, prefix, attributes)
+            emitted += 1
+
+
+class SyntheticTraceStream:
+    """A lazy, per-session view of a synthetic trace.
+
+    Topologies and burst plans are built per session on first access; the
+    message iterators merge each session's bursts and background noise in
+    timestamp order, materialising a burst's messages only once the replay
+    clock reaches its planned start.  Replaying a month of one session
+    therefore starts yielding messages immediately and keeps at most a few
+    in-flight bursts in memory, instead of paying the full eager generation
+    (~minutes for the benchmark corpus) upfront.
+
+    :meth:`materialise` drains the stream into the eager
+    :class:`SyntheticTrace`; both paths draw from the same per-burst RNG
+    seeds, so they produce identical traces.
+    """
+
+    def __init__(
+        self, generator: SyntheticTraceGenerator, peers: List[CollectorPeer]
+    ) -> None:
+        self._generator = generator
+        self.config = generator.config
+        self.peers = peers
+        self._index_of = {peer.peer_as: index for index, peer in enumerate(peers)}
+        self._topologies: Dict[int, SessionTopology] = {}
+        self._plans: Dict[int, List[BurstPlan]] = {}
+
+    # -- lazy per-session state ----------------------------------------------
+
+    def _peer(self, peer_as: int) -> CollectorPeer:
+        return self.peers[self._index_of[peer_as]]
+
+    def topology_of(self, peer_as: int) -> SessionTopology:
+        """The session's AS-path topology (built on first access)."""
+        topology = self._topologies.get(peer_as)
+        if topology is None:
+            index = self._index_of[peer_as]
+            topology = self._generator._session_topology(self.peers[index], index)
+            self._topologies[peer_as] = topology
+        return topology
+
+    def rib_of(self, peer_as: int) -> Dict[Prefix, ASPath]:
+        """Pre-trace RIB snapshot of a session."""
+        return self.topology_of(peer_as).rib
+
+    def plans_of(self, peer_as: int) -> List[BurstPlan]:
+        """The session's burst plans, sorted by start time (cheap to draw)."""
+        plans = self._plans.get(peer_as)
+        if plans is None:
+            index = self._index_of[peer_as]
+            plans = self._generator._session_plans(self.peers[index], index)
+            self._plans[peer_as] = plans
+        return plans
+
+    # -- streaming ------------------------------------------------------------
+
+    def iter_bursts(self, peer_as: int) -> Iterator[SyntheticBurst]:
+        """Materialise the session's bursts one at a time, in start order."""
+        topology = self.topology_of(peer_as)
+        for plan in self.plans_of(peer_as):
+            burst = self._generator._materialise_burst(plan, topology)
+            if burst is not None:
+                yield burst
+
+    def iter_messages(self, peer_as: int) -> Iterator[BGPMessage]:
+        """The session's full message stream (bursts + noise), lazily merged.
+
+        Messages come out in timestamp order.  A burst is only materialised
+        when the merged clock reaches its planned start time, so consuming
+        the head of a month-long stream does not pay for its tail.
+        """
+        index = self._index_of[peer_as]
+        peer = self.peers[index]
+        topology = self.topology_of(peer_as)
+        pending = deque(self.plans_of(peer_as))
+        heap: List[Tuple[float, int, BGPMessage, Iterator[BGPMessage]]] = []
+        counter = itertools.count()
+
+        def push(iterator: Iterator[BGPMessage]) -> None:
+            for message in iterator:
+                heapq.heappush(
+                    heap, (message.timestamp, next(counter), message, iterator)
                 )
-        messages.sort(key=lambda m: m.timestamp)
-        return messages
+                return
+
+        push(self._generator._background_stream(peer, topology, index))
+        while heap or pending:
+            # Materialise every burst that could out-date the earliest
+            # queued message (burst messages never precede their start).
+            while pending and (not heap or pending[0].start_time <= heap[0][0]):
+                burst = self._generator._materialise_burst(
+                    pending.popleft(), topology
+                )
+                if burst is not None and burst.messages:
+                    push(iter(burst.messages))
+            if not heap:
+                continue
+            _, _, message, iterator = heapq.heappop(heap)
+            yield message
+            push(iterator)
+
+    # -- eager drain -----------------------------------------------------------
+
+    def materialise(self) -> SyntheticTrace:
+        """Drain the whole stream into an eager :class:`SyntheticTrace`."""
+        topologies: Dict[int, SessionTopology] = {}
+        bursts: List[SyntheticBurst] = []
+        background: Dict[int, List[BGPMessage]] = {}
+        for index, peer in enumerate(self.peers):
+            topology = self.topology_of(peer.peer_as)
+            topologies[peer.peer_as] = topology
+            bursts.extend(self.iter_bursts(peer.peer_as))
+            background[peer.peer_as] = list(
+                self._generator._background_stream(peer, topology, index)
+            )
+        bursts.sort(key=lambda burst: burst.start_time)
+        return SyntheticTrace(
+            config=self.config,
+            peers=self.peers,
+            topologies=topologies,
+            bursts=bursts,
+            background=background,
+        )
+
+
+def cached_trace(config: Optional[SyntheticTraceConfig] = None) -> SyntheticTrace:
+    """Generate (or reload from the on-disk cache) an eager trace.
+
+    The trace is a pure function of its configuration, so the pickle under
+    ``.trace_cache/`` keyed by the config's repr is always valid for the
+    running code version; see :mod:`repro.traces.trace_cache`.  First call
+    pays the full generation, subsequent sessions reload in seconds.
+    """
+    from repro.traces.trace_cache import load_or_build
+
+    config = config or SyntheticTraceConfig()
+    return load_or_build(
+        "trace", repr(config), lambda: SyntheticTraceGenerator(config).generate()
+    )
 
 
 def _poisson(mean: float, rng: random.Random) -> int:

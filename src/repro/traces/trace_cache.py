@@ -1,0 +1,110 @@
+"""On-disk memoisation for generated traces and burst corpora.
+
+The synthetic month traces behind the benchmark suite take minutes to
+generate but are pure functions of their configuration, so they are perfect
+memoisation targets: :func:`load_or_build` pickles the built value under a
+key derived from the configuration's repr (plus a cache version bumped
+whenever the generator's output changes), and later sessions reload it in
+seconds instead of regenerating.
+
+The cache lives in ``.trace_cache/`` at the repository root by default;
+set ``REPRO_TRACE_CACHE`` to relocate it or ``REPRO_TRACE_CACHE=off`` to
+disable caching entirely (every load then falls through to the builder).
+Corrupt or unreadable cache files are treated as misses and rebuilt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Callable, Optional
+
+__all__ = ["cache_path_for", "clear_cache", "load_or_build"]
+
+#: Bump when the generator's output for a given configuration changes, so
+#: stale pickles from older code are never served.
+CACHE_VERSION = 4
+
+_ENV_VAR = "REPRO_TRACE_CACHE"
+
+
+def _default_cache_dir() -> str:
+    # src/repro/traces/trace_cache.py -> repository root.
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, ".trace_cache")
+
+
+def _cache_dir() -> Optional[str]:
+    configured = os.environ.get(_ENV_VAR)
+    if configured is not None:
+        if configured.strip().lower() in {"off", "0", "none", ""}:
+            return None
+        return configured
+    return _default_cache_dir()
+
+
+def cache_path_for(kind: str, spec: str) -> Optional[str]:
+    """The cache file a (kind, spec) pair would use, or ``None`` if disabled.
+
+    ``spec`` should be a deterministic description of everything the built
+    value depends on — typically the ``repr`` of a frozen config dataclass.
+    """
+    directory = _cache_dir()
+    if directory is None:
+        return None
+    digest = hashlib.sha256(
+        f"v{CACHE_VERSION}|{kind}|{spec}".encode("utf-8")
+    ).hexdigest()[:24]
+    return os.path.join(directory, f"{kind}-{digest}.pkl")
+
+
+def load_or_build(kind: str, spec: str, builder: Callable[[], Any]) -> Any:
+    """Return the memoised value for (kind, spec), building it on a miss.
+
+    The write is atomic (temp file + rename) so concurrent test sessions
+    never observe a half-written pickle; any failure to read or write the
+    cache silently degrades to calling ``builder()``.
+    """
+    path = cache_path_for(kind, spec)
+    if path is not None and os.path.exists(path):
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            pass  # corrupt / incompatible cache entry: rebuild below
+    value = builder()
+    if path is not None:
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_path, path)
+            except Exception:
+                os.unlink(temp_path)
+                raise
+        except Exception:
+            pass  # read-only filesystem etc.: caching is best-effort
+    return value
+
+
+def clear_cache() -> int:
+    """Delete every cache entry; returns the number of files removed."""
+    directory = _cache_dir()
+    if directory is None or not os.path.isdir(directory):
+        return 0
+    removed = 0
+    for name in os.listdir(directory):
+        if name.endswith(".pkl") or name.endswith(".tmp"):
+            try:
+                os.unlink(os.path.join(directory, name))
+                removed += 1
+            except OSError:
+                continue
+    return removed

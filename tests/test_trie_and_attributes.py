@@ -62,7 +62,7 @@ class TestPrefixTrie:
 class TestASPath:
     def test_links_and_positions(self):
         path = ASPath([2, 5, 6, 8])
-        assert path.links() == [(2, 5), (5, 6), (6, 8)]
+        assert path.links() == ((2, 5), (5, 6), (6, 8))
         assert path.links_with_positions()[0] == ((2, 5), 1)
         assert path.origin_as == 8
         assert path.first_hop == 2
