@@ -32,7 +32,7 @@ from repro.bgp.prefix import prefix_block
 from repro.bgp.speaker import BGPSpeaker
 from repro.core import SwiftedRouter
 from repro.experiments.common import burst_corpus
-from repro.traces.trace_cache import cache_path_for, load_or_build
+from repro.traces.trace_cache import cache_path_for
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULTS_PATH = os.path.join(_REPO_ROOT, "BENCH_replay.json")
@@ -285,11 +285,20 @@ def test_bench_warm_vs_cold_provision():
 
 
 def test_bench_trace_memoisation():
-    """Corpus generation vs a cache reload (the default session's fixture).
+    """Corpus generation vs a cache reload, through the shipped cache path.
 
-    Uses a dedicated seed so the shared ``corpus`` fixture cache is left
-    alone, and clears its own entry first so the first build is a true miss.
+    Exercises :func:`repro.experiments.common.cached_corpus` itself (the
+    columnar encode/decode pair and fingerprint keys), so the recorded
+    trajectory measures what the benchmark fixtures actually pay.  Uses a
+    dedicated seed so the shared ``corpus`` fixture cache is left alone,
+    and clears its own entry first so the first build is a true miss.
     """
+    import inspect
+
+    from repro.experiments.common import cached_corpus
+    from repro.traces.columnar import COLUMNAR_FORMAT_VERSION
+    from repro.traces.trace_cache import fingerprint
+
     kwargs = dict(
         peer_count=10,
         duration_days=20,
@@ -297,19 +306,24 @@ def test_bench_trace_memoisation():
         max_table_size=30000,
         seed=777,
     )
-    spec = repr(sorted(kwargs.items()))
-    path = cache_path_for("corpus", spec)
+    bound = inspect.signature(burst_corpus).bind(**kwargs)
+    bound.apply_defaults()
+    path = cache_path_for(
+        "corpus",
+        fingerprint(dict(bound.arguments)),
+        format_version=COLUMNAR_FORMAT_VERSION,
+    )
     if path and os.path.exists(path):
         os.unlink(path)
 
     with _gc_paused():
         begin = time.perf_counter()
-        generated = load_or_build("corpus", spec, lambda: burst_corpus(**kwargs))
+        generated = cached_corpus(**kwargs)
         generate_seconds = time.perf_counter() - begin
 
     with _gc_paused():
         begin = time.perf_counter()
-        reloaded = load_or_build("corpus", spec, lambda: burst_corpus(**kwargs))
+        reloaded = cached_corpus(**kwargs)
         reload_seconds = time.perf_counter() - begin
 
     assert len(reloaded) == len(generated)

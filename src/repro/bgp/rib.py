@@ -284,6 +284,11 @@ class AdjRibIn:
                 del self._link_index[link]
 
 
+#: Shared empty mapping returned by ``LocRib.candidate_map`` for unknown
+#: prefixes, so the hot path never allocates.
+_NO_CANDIDATES: Dict[int, "RibEntry"] = {}
+
+
 class LocRib:
     """The router-wide best-route table.
 
@@ -337,6 +342,15 @@ class LocRib:
     def candidates(self, prefix: Prefix) -> List[RibEntry]:
         """Return all candidate routes for ``prefix`` (any peer)."""
         return list(self._candidates.get(prefix, {}).values())
+
+    def candidate_map(self, prefix: Prefix) -> Dict[int, RibEntry]:
+        """The live peer -> candidate mapping of a prefix (do not mutate).
+
+        Exposed for read-only hot paths (e.g. profile-grouped backup
+        computation) that need the candidate *identities* without paying for
+        a list copy per prefix.
+        """
+        return self._candidates.get(prefix, _NO_CANDIDATES)
 
     def candidate_from(self, prefix: Prefix, peer_as: int) -> Optional[RibEntry]:
         """Return the candidate offered by a specific peer, if any."""

@@ -169,6 +169,11 @@ class PeeringSession:
         self.rib_in = AdjRibIn(peer_as)
         self.stream = MessageStream()
         self.stats = SessionStats()
+        # Replay workloads that never re-analyse the raw stream can switch
+        # recording off: month-scale replays otherwise hold every processed
+        # message alive, and the columnar fast path can only skip message
+        # materialisation entirely when nothing records the objects.
+        self.record_stream = True
         self._observers: List[Callable[["PeeringSession", Update, List[RouteChange]], None]] = []
 
     # -- lifecycle --------------------------------------------------------
@@ -222,7 +227,8 @@ class PeeringSession:
         """
         self.stats.messages_received += 1
         self.stats.last_message_at = message.timestamp
-        self.stream.append(message)
+        if self.record_stream:
+            self.stream.append(message)
 
         if message.type == MessageType.OPEN:
             self.state = SessionState.ESTABLISHED
@@ -279,7 +285,8 @@ class PeeringSession:
             messages = list(messages)
         per_message: List[List[RouteChange]] = []
         stats = self.stats
-        self.stream.extend(messages)
+        if self.record_stream:
+            self.stream.extend(messages)
         rib_in = self.rib_in
         rib_withdraw = rib_in.withdraw
         rib_announce = rib_in.announce
@@ -315,6 +322,91 @@ class PeeringSession:
                 announcements += 1
             for observer in observers:
                 observer(self, message, changes)
+            append_result(changes)
+        rib_in.end_bulk()
+        stats.messages_received += count
+        stats.withdrawals_received += withdrawals
+        stats.announcements_received += announcements
+        if count:
+            stats.last_message_at = last_at
+        return per_message
+
+    def process_columnar_run(self, run) -> List[List[RouteChange]]:
+        """Apply a same-peer :class:`~repro.traces.columnar.ColumnarRun`.
+
+        The fast path walks the run's raw columns — timestamps, withdrawal /
+        announcement index windows — and feeds the Adj-RIB-In interned
+        prefix / attribute objects directly, never constructing a single
+        :class:`~repro.bgp.messages.Update`.  Semantically identical to
+        :meth:`process_batch` over the run's materialised messages, which is
+        exactly what it falls back to when observers are registered or the
+        stream recorder is on (both consume message objects).
+
+        ``run`` is duck-typed (no import of the traces layer): it must carry
+        ``trace``/``start``/``stop`` plus a ``materialise()`` fallback, the
+        interface documented in :mod:`repro.traces.columnar`.
+        """
+        if self._observers or self.record_stream:
+            return self.process_batch(run.materialise())
+        trace = run.trace
+        pool = trace.pool
+        prefix_at = pool.prefix_at
+        attributes_at = pool.attributes_at
+        msg_kind = trace.msg_kind
+        msg_time = trace.msg_time
+        wd_end = trace.wd_end
+        ann_end = trace.ann_end
+        wd_prefix = trace.wd_prefix
+        ann_prefix = trace.ann_prefix
+        ann_attr = trace.ann_attr
+        start, stop = run.start, run.stop
+
+        stats = self.stats
+        rib_in = self.rib_in
+        rib_withdraw = rib_in.withdraw
+        rib_announce = rib_in.announce
+        per_message: List[List[RouteChange]] = []
+        append_result = per_message.append
+        count = 0
+        withdrawals = 0
+        announcements = 0
+        last_at = stats.last_message_at
+        # Flat-column cursors: message i owns wd_prefix[w:wd_end[i]] and
+        # ann_prefix[a:ann_end[i]] (kind byte 0 = UPDATE, 1 = OPEN,
+        # 3 = NOTIFICATION; see repro.traces.columnar).
+        w = wd_end[start - 1] if start else 0
+        a = ann_end[start - 1] if start else 0
+        rib_in.begin_bulk()
+        for index in range(start, stop):
+            count += 1
+            timestamp = msg_time[index]
+            last_at = timestamp
+            kind = msg_kind[index]
+            if kind != 0:
+                if kind == 1:
+                    self.state = SessionState.ESTABLISHED
+                elif kind == 3:
+                    self.state = SessionState.CLOSED
+                    rib_in.clear()
+                    stats.session_resets += 1
+                append_result([])
+                continue
+            changes: List[RouteChange] = []
+            changes_append = changes.append
+            w_high = wd_end[index]
+            while w < w_high:
+                changes_append(rib_withdraw(prefix_at(wd_prefix[w]), timestamp))
+                w += 1
+                withdrawals += 1
+            a_high = ann_end[index]
+            while a < a_high:
+                changes_append(
+                    rib_announce(
+                        prefix_at(ann_prefix[a]), attributes_at(ann_attr[a]), timestamp
+                    )
+                )
+                a += 1
+                announcements += 1
             append_result(changes)
         rib_in.end_bulk()
         stats.messages_received += count

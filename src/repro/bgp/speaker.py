@@ -88,6 +88,12 @@ class BGPSpeaker:
         self.loc_rib = LocRib()
         self._sessions: Dict[int, PeeringSession] = {}
         self._best_route_listeners: List[Callable[[List[BestRouteChange]], None]] = []
+        # Per-prefix memo of the decision process's full candidate ranking,
+        # invalidated whenever the prefix's candidate set changes.  Serves
+        # both the per-message re-selection (the ranked head is the best
+        # route) and alternate_routes(), whose per-prefix sorts dominate
+        # cold backup computation.
+        self._ranked_cache: Dict[Prefix, List[RibEntry]] = {}
 
     # -- session management -----------------------------------------------
 
@@ -109,6 +115,7 @@ class BGPSpeaker:
         session.close()
         for prefix in affected:
             self.loc_rib.remove_candidate(prefix, peer_as)
+            self._ranked_cache.pop(prefix, None)
         return self._reselect(affected)
 
     def session(self, peer_as: int) -> PeeringSession:
@@ -139,10 +146,12 @@ class BGPSpeaker:
             raise KeyError(f"no session with AS {message.peer_as}")
         changes = session.process(message)
         touched: List[Prefix] = []
+        ranked_cache_pop = self._ranked_cache.pop
         for change in changes:
             if change.kind == RouteChangeKind.UNCHANGED:
                 continue
             touched.append(change.prefix)
+            ranked_cache_pop(change.prefix, None)
             if change.new is not None:
                 self.loc_rib.set_candidate(change.new)
             else:
@@ -205,6 +214,28 @@ class BGPSpeaker:
         """
         return self.receive_batch(messages)
 
+    def receive_columnar(self, source) -> List[BestRouteChange]:
+        """Process a columnar trace (or an iterable of columnar runs).
+
+        The preferred replay entry point for array-backed traces: each
+        same-peer run is applied straight from its columns
+        (:meth:`~repro.bgp.session.PeeringSession.process_columnar_run`),
+        skipping per-message object construction entirely when the sessions
+        have no observers and stream recording is off.  Semantics match
+        :meth:`receive_batch` over the materialised message stream exactly
+        (same final Loc-RIB, same loss-of-reachability / recovery multiset).
+
+        ``source`` is either an object exposing ``iter_batches()`` (a
+        :class:`~repro.traces.columnar.ColumnarTrace`) or an iterable of
+        :class:`~repro.traces.columnar.ColumnarRun` views.
+        """
+        iter_batches = getattr(source, "iter_batches", None)
+        runs = iter_batches() if iter_batches is not None else source
+        batch = self.begin_batch()
+        for run in runs:
+            batch.add_columnar_run(run)
+        return batch.commit()
+
     # -- queries ----------------------------------------------------------
 
     def best_route(self, prefix: Prefix) -> Optional[RibEntry]:
@@ -214,12 +245,10 @@ class BGPSpeaker:
     def alternate_routes(self, prefix: Prefix) -> List[RibEntry]:
         """Candidate routes other than the current best, most preferred first."""
         best = self.loc_rib.best(prefix)
-        candidates = [
-            entry
-            for entry in self.loc_rib.candidates(prefix)
-            if best is None or entry.peer_as != best.peer_as
-        ]
-        return self.decision_process.rank(candidates)
+        if best is None:
+            return list(self._ranked(prefix))
+        best_peer = best.peer_as
+        return [entry for entry in self._ranked(prefix) if entry.peer_as != best_peer]
 
     def routed_prefixes(self) -> frozenset:
         """Prefixes that currently have a best route."""
@@ -227,11 +256,27 @@ class BGPSpeaker:
 
     # -- internals --------------------------------------------------------
 
+    def _ranked(self, prefix: Prefix) -> List[RibEntry]:
+        """The full candidate ranking of a prefix, memoised until it changes.
+
+        The head of the list is what ``select()`` would install (both filter
+        looped paths and use the same key, so stable ``sorted`` and ``min``
+        agree on ties); the tail is the alternate-route order.
+        """
+        ranked = self._ranked_cache.get(prefix)
+        if ranked is None:
+            ranked = self._ranked_cache[prefix] = self.decision_process.rank(
+                self.loc_rib.candidates(prefix)
+            )
+        return ranked
+
     def _reselect(self, prefixes: Sequence[Prefix]) -> List[BestRouteChange]:
         changes: List[BestRouteChange] = []
+        ranked_of = self._ranked
         for prefix in prefixes:
             old = self.loc_rib.best(prefix)
-            new = self.decision_process.select(self.loc_rib.candidates(prefix))
+            ranked = ranked_of(prefix)
+            new = ranked[0] if ranked else None
             if old is new:
                 continue
             if old is not None and new is not None and old == new:
@@ -345,12 +390,33 @@ class SpeakerBatch:
         self, peer_as: Optional[int], messages: Sequence[BGPMessage]
     ) -> None:
         """Apply a consecutive same-peer run of messages in bulk."""
+        session = self._session_for(peer_as)
+        self._absorb(peer_as, session.process_batch(messages))
+
+    def add_columnar_run(self, run) -> None:
+        """Apply a same-peer columnar run (no message objects on the fast path).
+
+        ``run`` is a :class:`~repro.traces.columnar.ColumnarRun` (duck-typed:
+        anything carrying ``peer_as`` and accepted by
+        :meth:`~repro.bgp.session.PeeringSession.process_columnar_run`).
+        Equivalent to ``add_run(run.peer_as, run.materialise())``.
+        """
+        session = self._session_for(run.peer_as)
+        self._absorb(run.peer_as, session.process_columnar_run(run))
+
+    def _session_for(self, peer_as: Optional[int]):
         if self._committed:
             raise RuntimeError("batch already committed")
-        speaker = self._speaker
-        session = speaker._sessions.get(peer_as)
+        session = self._speaker._sessions.get(peer_as)
         if session is None:
             raise KeyError(f"no session with AS {peer_as}")
+        return session
+
+    def _absorb(
+        self, peer_as: Optional[int], per_message_changes: Iterable[List[RouteChange]]
+    ) -> None:
+        """Fold a run's per-message RIB changes into the batch state."""
+        speaker = self._speaker
         loc_rib = speaker.loc_rib
         candidates_of = loc_rib._candidates
         best_of = loc_rib.best
@@ -358,6 +424,7 @@ class SpeakerBatch:
         transitions = self._transitions
         set_candidate = loc_rib.set_candidate
         remove_candidate = loc_rib.remove_candidate
+        ranked_cache_pop = speaker._ranked_cache.pop
         unchanged = RouteChangeKind.UNCHANGED
 
         # Reachability is evaluated at message boundaries, so a
@@ -376,12 +443,13 @@ class SpeakerBatch:
                         return True
             return False
 
-        for changes in session.process_batch(messages):
+        for changes in per_message_changes:
             if len(changes) == 1:
                 change = changes[0]
                 if change.kind is unchanged:
                     continue
                 prefix = change.prefix
+                ranked_cache_pop(prefix, None)
                 new = change.new
                 before = pending.get(prefix)
                 if before is None:
@@ -412,6 +480,7 @@ class SpeakerBatch:
                 if change.kind is unchanged:
                     continue
                 prefix = change.prefix
+                ranked_cache_pop(prefix, None)
                 if change.new is not None:
                     set_candidate(change.new)
                 else:

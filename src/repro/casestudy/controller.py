@@ -119,6 +119,18 @@ class SwiftController:
             for action in self.router.receive_batch(messages)
         ]
 
+    def receive_columnar(self, source) -> List[float]:
+        """Relay a columnar trace; returns every reroute completion time.
+
+        Same semantics as :meth:`receive_all` over the materialised stream,
+        but the router consumes the trace's same-peer runs directly
+        (:meth:`~repro.core.swifted_router.SwiftedRouter.receive_columnar`).
+        """
+        return [
+            self._program_switch(action)
+            for action in self.router.receive_columnar(source)
+        ]
+
     def forward(self, destination: int) -> Optional[int]:
         """Data-plane next-hop for ``destination`` through the two devices."""
         return self.router.forward(destination)
@@ -152,9 +164,12 @@ class SwiftedDeployment:
 
         The convergence time is measured from the failure instant to the
         completion of the switch programming triggered by the first accepted
-        inference — the moment all affected traffic flows again.
+        inference — the moment all affected traffic flows again.  The burst
+        is consumed in columnar form (``scenario.columnar_burst()``) through
+        the router's batched run path; results are identical to replaying
+        the object stream.
         """
-        completions = self.controller.receive_all(scenario.burst_messages)
+        completions = self.controller.receive_columnar(scenario.columnar_burst())
         if not completions:
             return None
         return completions[0] - scenario.failure_time

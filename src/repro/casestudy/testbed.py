@@ -53,6 +53,21 @@ class Fig1Scenario:
         """The burst messages received on the session with ``peer_as``."""
         return [m for m in self.burst_messages if m.peer_as == peer_as]
 
+    def columnar_burst(self):
+        """The failure burst encoded as a columnar stream (memoised).
+
+        The SWIFTED replay path consumes the burst via
+        :meth:`~repro.traces.columnar.ColumnarTrace.iter_batches`; encoding
+        happens once per scenario and is shared across runs.
+        """
+        cached = getattr(self, "_columnar_burst", None)
+        if cached is None:
+            from repro.traces.columnar import ColumnarTrace
+
+            cached = ColumnarTrace.from_messages(self.burst_messages)
+            self._columnar_burst = cached
+        return cached
+
 
 def build_fig1_scenario(
     prefix_count: int = 290000,

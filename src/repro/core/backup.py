@@ -32,6 +32,28 @@ def _canonical(link: Link) -> Link:
     return link if link[0] <= link[1] else (link[1], link[0])
 
 
+_object_new = object.__new__
+
+
+def _make_selection(
+    prefix: Prefix, protected_link: Link, next_hop: int, as_path: ASPath
+) -> "BackupSelection":
+    """Build a BackupSelection without the frozen-dataclass ``__setattr__`` tax.
+
+    The profile-grouped fan-out constructs one selection per (prefix, link)
+    over whole tables; filling the instance ``__dict__`` directly keeps that
+    loop cheap while remaining indistinguishable from constructor-built
+    instances (same equality, hashing, pickling).
+    """
+    selection = _object_new(BackupSelection)
+    fields = selection.__dict__
+    fields["prefix"] = prefix
+    fields["protected_link"] = protected_link
+    fields["next_hop"] = next_hop
+    fields["as_path"] = as_path
+    return selection
+
+
 @dataclass(frozen=True)
 class ReroutingPolicy:
     """Operator preferences constraining backup next-hop selection.
@@ -209,8 +231,25 @@ class BackupComputer:
         local_as: int,
         best_routes: Mapping[Prefix, RibEntry],
         alternates_of: Callable[[Prefix], Sequence[RibEntry]],
+        candidates_of: Optional[Callable[[Prefix], Mapping[int, RibEntry]]] = None,
     ) -> Dict[Prefix, Dict[Link, BackupSelection]]:
         """Backups for every prefix and every protected link of its best path.
+
+        The selection is *profile-grouped*: prefixes whose best route and
+        candidates are built from the same attribute objects (the common
+        case — table dumps intern attributes, so whole path-sharing prefix
+        groups reference one set) rank identically for every protected
+        link, because validity and preference read only the candidates' AS
+        paths and next hops.  Each distinct (best profile, candidates
+        profile) is therefore ranked once — ``alternates_of`` is called for
+        one representative prefix per profile when ``candidates_of`` is
+        given — and the winning (next hop, backup path) fanned out to all
+        member prefixes.  The dominant cost of a cold ``provision()`` drops
+        from one ranking per (prefix, link) to one per (profile, link).
+
+        Policies with capacity limits keep the per-prefix
+        :meth:`compute_table_reference` path: their global usage accounting
+        makes selections order-dependent and inherently ungroupable.
 
         Parameters
         ----------
@@ -221,6 +260,76 @@ class BackupComputer:
         alternates_of:
             Callable returning the alternate candidate routes of a prefix
             (typically :meth:`repro.bgp.speaker.BGPSpeaker.alternate_routes`).
+        candidates_of:
+            Optional cheap accessor for the prefix's raw peer -> candidate
+            mapping (:meth:`repro.bgp.rib.LocRib.candidate_map`).  When
+            given, profile keys are built from it and the (sorting)
+            ``alternates_of`` runs once per profile instead of once per
+            prefix; selections are unchanged because members of a profile
+            share their candidate objects and insertion order.
+        """
+        if self.policy.capacity_limits:
+            return self.compute_table_reference(local_as, best_routes, alternates_of)
+        # profile key -> {canonical link: (next_hop, backup path) | None}
+        groups: Dict[Tuple, Dict[Link, Optional[Tuple[int, ASPath]]]] = {}
+        table: Dict[Prefix, Dict[Link, BackupSelection]] = {}
+        for prefix, best in best_routes.items():
+            # Identity of the attribute objects (not their values): two
+            # profiles sharing attribute objects are exactly the groups the
+            # speaker's interned table loads produce, and object identity
+            # keys in O(1) where structural comparison would re-walk paths.
+            if candidates_of is not None:
+                candidates = candidates_of(prefix)
+                key = (
+                    best.peer_as,
+                    id(best.attributes),
+                    tuple(
+                        (peer, id(entry.attributes))
+                        for peer, entry in candidates.items()
+                    ),
+                )
+            else:
+                alternates = alternates_of(prefix)
+                key = (
+                    best.peer_as,
+                    id(best.attributes),
+                    tuple(
+                        (entry.peer_as, id(entry.attributes)) for entry in alternates
+                    ),
+                )
+            winners = groups.get(key)
+            if winners is None:
+                if candidates_of is not None:
+                    alternates = alternates_of(prefix)
+                winners = groups[key] = {}
+                for link in self.protected_links(best.as_path, local_as):
+                    selection = self.select(prefix, link, alternates)
+                    winners[link] = (
+                        (selection.next_hop, selection.as_path)
+                        if selection is not None
+                        else None
+                    )
+            per_link = {
+                link: _make_selection(prefix, link, winner[0], winner[1])
+                for link, winner in winners.items()
+                if winner is not None
+            }
+            if per_link:
+                table[prefix] = per_link
+        return table
+
+    def compute_table_reference(
+        self,
+        local_as: int,
+        best_routes: Mapping[Prefix, RibEntry],
+        alternates_of: Callable[[Prefix], Sequence[RibEntry]],
+    ) -> Dict[Prefix, Dict[Link, BackupSelection]]:
+        """Ungrouped per-prefix selection (the pre-grouping reference).
+
+        Kept as the always-correct path: capacity-limited policies require
+        it (usage accounting is global and order-dependent), and the parity
+        suite asserts :meth:`compute_table` matches it exactly on
+        capacity-free policies.
         """
         usage: Dict[int, int] = {}
         table: Dict[Prefix, Dict[Link, BackupSelection]] = {}

@@ -293,7 +293,10 @@ class SwiftedRouter:
         else:
             self.last_provision_stats = {"mode": 0, "dirty_prefixes": len(best_routes)}
             self._backup_table = self.backup_computer.compute_table(
-                self.local_as, best_routes, self.speaker.alternate_routes
+                self.local_as,
+                best_routes,
+                self.speaker.alternate_routes,
+                candidates_of=self.speaker.loc_rib.candidate_map,
             )
             self._backup_aux = {
                 prefix: self._aux_of(per_link)
@@ -451,6 +454,43 @@ class SwiftedRouter:
     def receive_all(self, messages: Iterable[BGPMessage]) -> List[RerouteAction]:
         """Process a stream of messages; returns every reroute action."""
         return self.receive_batch(messages)
+
+    def receive_columnar(self, source) -> List[RerouteAction]:
+        """Process a columnar trace (or iterable of columnar runs).
+
+        Mirrors :meth:`receive_batch` over the materialised stream — same
+        reroute actions, same inference results — but consumes the trace in
+        its native run-grouped shape.  Each run is materialised lazily at
+        most *once* and shared between the watching inference engine and
+        the speaker (engines consume message objects, and every provisioned
+        session has one; the speaker's change-tracking observer likewise
+        reads the per-message stream).  The truly zero-object columnar path
+        belongs to observer-free speakers — see
+        :meth:`repro.bgp.speaker.BGPSpeaker.receive_columnar`.
+        """
+        if not self._provisioned:
+            raise RuntimeError("provision() must be called before receiving updates")
+        iter_batches = getattr(source, "iter_batches", None)
+        runs = iter_batches() if iter_batches is not None else source
+        actions: List[RerouteAction] = []
+        batch = self.speaker.begin_batch()
+        self._feeding_engines = True
+        try:
+            for run in runs:
+                engine = self._engines.get(run.peer_as)
+                if engine is None:
+                    batch.add_columnar_run(run)
+                    continue
+                messages = run.materialise()
+                batch.add_run(run.peer_as, messages)
+                for result in engine.process_batch(messages):
+                    action = self._apply_inference(run.peer_as, result)
+                    if action is not None:
+                        actions.append(action)
+            batch.commit()
+        finally:
+            self._feeding_engines = False
+        return actions
 
     # -- rerouting ---------------------------------------------------------------
 

@@ -16,6 +16,7 @@ Fig. 8 (learning time CDF)      :mod:`repro.experiments.fig8`
 Fig. 9(a) (case-study speedup)  :mod:`repro.experiments.fig9`
 §6.2.2/§6.3.2 (simulation)      :mod:`repro.experiments.simulation_validation`
 §6.5 (rerouting speed)          :mod:`repro.experiments.rerouting_speed`
+§6 (month-scale replay)         :mod:`repro.experiments.month_replay`
 ==============================  =========================================
 """
 

@@ -10,6 +10,8 @@ from the synthetic trace generator.
 
 from __future__ import annotations
 
+import inspect
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
@@ -22,6 +24,13 @@ from repro.metrics.classification import (
     ClassificationCounts,
     classify_inference,
     classify_prediction,
+)
+from repro.traces.columnar import (
+    COLUMNAR_FORMAT_VERSION,
+    ColumnarTrace,
+    InternPool,
+    decode_rib,
+    encode_rib,
 )
 from repro.traces.synthetic import (
     SyntheticBurst,
@@ -51,7 +60,14 @@ class CorpusBurst:
 
     @property
     def size(self) -> int:
-        """Burst size in withdrawals."""
+        """Burst size in withdrawals.
+
+        Columnar-cached corpora answer from the withdrawal bounds without
+        materialising messages.
+        """
+        counter = getattr(self.messages, "withdrawal_count", None)
+        if counter is not None:
+            return counter()
         return sum(
             len(m.withdrawals) for m in self.messages if isinstance(m, Update)
         )
@@ -59,7 +75,10 @@ class CorpusBurst:
     @property
     def start_time(self) -> float:
         """Timestamp of the first burst message."""
-        return self.messages[0].timestamp if self.messages else 0.0
+        if not len(self.messages):
+            return 0.0
+        first = getattr(self.messages, "first_timestamp", None)
+        return first if first is not None else self.messages[0].timestamp
 
 
 @dataclass
@@ -134,18 +153,80 @@ def burst_corpus(
     return corpus
 
 
+def _encode_corpus(corpus: Sequence[CorpusBurst]) -> dict:
+    """Encode a burst corpus as a columnar payload (see :func:`cached_corpus`)."""
+    pool = InternPool()
+    intern_prefix = pool.intern_prefix
+    columns = ColumnarTrace(pool=pool)
+    ribs: Dict[int, Tuple] = {}
+    rows = []
+    for burst in corpus:
+        if burst.peer_as not in ribs:
+            ribs[burst.peer_as] = encode_rib(burst.rib, pool)
+        start = columns.message_count
+        columns.extend(burst.messages)
+        rows.append(
+            (
+                burst.peer_as,
+                start,
+                columns.message_count,
+                array("I", map(intern_prefix, burst.withdrawn_prefixes)),
+                burst.failed_link,
+            )
+        )
+    return {"pool": pool, "columns": columns, "ribs": ribs, "bursts": rows}
+
+
+def _decode_corpus(payload: dict) -> List[CorpusBurst]:
+    """Rebuild a corpus from columns: lazy message views, shared RIB dicts.
+
+    Bursts of the same session share one decoded RIB dict *by identity*,
+    which downstream per-RIB caches (e.g. the rerouting-speed encoder
+    memo) rely on.
+    """
+    pool: InternPool = payload["pool"]
+    columns: ColumnarTrace = payload["columns"]
+    prefix_at = pool.prefix_at
+    rib_of = {
+        peer_as: decode_rib(prefix_column, path_column, pool)
+        for peer_as, (prefix_column, path_column) in payload["ribs"].items()
+    }
+    return [
+        CorpusBurst(
+            peer_as=peer_as,
+            messages=columns.view(range(start, stop)),
+            rib=rib_of[peer_as],
+            withdrawn_prefixes=frozenset(map(prefix_at, withdrawn)),
+            failed_link=failed_link,
+        )
+        for peer_as, start, stop, withdrawn, failed_link in payload["bursts"]
+    ]
+
+
 def cached_corpus(**kwargs) -> List[CorpusBurst]:
     """Memoised :func:`burst_corpus`: generated once, reloaded from disk after.
 
-    Accepts the same keyword arguments; the cache key is derived from them
-    (and the trace-cache version), so distinct corpora coexist.  Used by the
-    benchmark fixtures, where regenerating the corpus dominated session
-    start-up time.
+    Accepts the same keyword arguments; the cache key is the *fully bound*
+    parameter fingerprint — defaults included, so changing a default misses
+    cleanly — plus the trace-cache and columnar format versions.  The
+    persisted form is a columnar payload: reloads restore arrays and hand
+    out lazy message views instead of unpickling the burst object graph.
+    Used by the benchmark fixtures, where regenerating the corpus dominated
+    session start-up time.
     """
-    from repro.traces.trace_cache import load_or_build
+    from repro.traces.trace_cache import fingerprint, load_or_build
 
-    spec = repr(sorted(kwargs.items()))
-    return load_or_build("corpus", spec, lambda: burst_corpus(**kwargs))
+    bound = inspect.signature(burst_corpus).bind(**kwargs)
+    bound.apply_defaults()
+    spec = fingerprint(dict(bound.arguments))
+    return load_or_build(
+        "corpus",
+        spec,
+        lambda: burst_corpus(**kwargs),
+        format_version=COLUMNAR_FORMAT_VERSION,
+        encode=_encode_corpus,
+        decode=_decode_corpus,
+    )
 
 
 def evaluate_burst(

@@ -1,0 +1,249 @@
+"""Month-scale replay of a collector session through a (SWIFTED) router.
+
+The paper's evaluation replays months of real BGP update streams; this
+driver is the scaled equivalent over the synthetic substrate, built
+end-to-end on the columnar trace format: the session's month-long stream is
+generated straight into columns (memoised on disk by
+:func:`repro.traces.synthetic.cached_columnar_stream`, reloading at array
+speed), and replay consumes
+:meth:`~repro.traces.columnar.ColumnarTrace.iter_batches` — same-peer runs
+applied through the batched speaker path, with message objects materialised
+only for the runs an inference engine watches (and not at all in
+speaker-only mode).
+
+Two modes:
+
+* ``swifted=True`` (default): the stream drives a
+  :class:`~repro.core.swifted_router.SwiftedRouter` — burst inference,
+  reroute activations and loss-of-reachability accounting included;
+* ``swifted=False``: the stream drives a bare
+  :class:`~repro.bgp.speaker.BGPSpeaker`, the pure columnar fast path
+  (zero message-object construction), which is the replay-throughput
+  ceiling of the substrate.
+
+Replay proceeds in chunks of roughly ``chunk_messages`` messages: each chunk
+is one speaker batch (decision process once per touched prefix), matching
+how a deployment drains its BGP sockets in bulk.  Chunking does not change
+results — the batched path's loss/recovery multiset matches per-message
+replay regardless of batch boundaries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.bgp.speaker import BGPSpeaker
+from repro.core.swifted_router import SwiftConfig, SwiftedRouter
+from repro.metrics.tables import format_table
+from repro.traces.columnar import ColumnarRun, ColumnarTrace
+from repro.traces.synthetic import (
+    SyntheticTraceConfig,
+    SyntheticTraceGenerator,
+    cached_columnar_stream,
+)
+
+__all__ = ["MonthReplayResult", "replay_stream", "run", "format_result"]
+
+
+@dataclass
+class MonthReplayResult:
+    """Counters of one month-replay run."""
+
+    peer_as: int
+    message_count: int
+    withdrawal_count: int
+    announcement_count: int
+    reroutes: int
+    losses: int
+    recoveries: int
+    chunks: int
+    wall_seconds: float
+
+    @property
+    def messages_per_second(self) -> float:
+        """Replay throughput in messages per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.message_count / self.wall_seconds
+
+
+def _chunked_runs(
+    stream: ColumnarTrace, chunk_messages: int
+) -> Iterator[List[ColumnarRun]]:
+    """Group the stream's same-peer runs into ~chunk_messages-sized chunks."""
+    chunk: List[ColumnarRun] = []
+    pending = 0
+    for run in stream.iter_batches(max_run=chunk_messages):
+        chunk.append(run)
+        pending += len(run)
+        if pending >= chunk_messages:
+            yield chunk
+            chunk = []
+            pending = 0
+    if chunk:
+        yield chunk
+
+
+#: Neighbor AS of the synthetic surviving session backing a SWIFTED replay.
+BACKUP_PEER_AS = 64512
+
+
+def replay_stream(
+    stream: ColumnarTrace,
+    rib,
+    peer_as: int,
+    local_as: int = 1,
+    swift_config: Optional[SwiftConfig] = None,
+    chunk_messages: int = 50000,
+    swifted: bool = True,
+    local_pref: int = 100,
+    backup_session: bool = True,
+) -> MonthReplayResult:
+    """Replay one session's columnar stream through a router.
+
+    ``rib`` is the session's pre-trace Adj-RIB-In snapshot (prefix -> AS
+    path).  Stream recording is switched off on the replay session — a
+    month of messages must not accumulate in memory — which is also what
+    arms the zero-object columnar path in speaker-only mode.
+
+    In SWIFTED mode a second, quiet session (``backup_session``) announces
+    a surviving two-hop alternate for every prefix at a lower LOCAL_PREF —
+    the Fig. 1 structure where AS 3 survives the (5, 6) failure.  Synthetic
+    per-session prefix spaces are disjoint, so without it the router would
+    have no backup next-hops and inferences could never install a rule.
+    """
+    losses = 0
+    recoveries = 0
+    reroutes = 0
+
+    def count_events(changes) -> None:
+        nonlocal losses, recoveries
+        for change in changes:
+            if change.is_loss_of_reachability:
+                losses += 1
+            elif change.is_recovery:
+                recoveries += 1
+
+    if swifted:
+        from repro.bgp.attributes import ASPath
+
+        router = SwiftedRouter(local_as, config=swift_config)
+        # Recording off *before* the table loads: neither the initial dump
+        # nor the month of replay messages may accumulate in MessageStream.
+        router.add_peer(peer_as)
+        router.speaker.session(peer_as).record_stream = False
+        router.load_initial_routes(peer_as, rib, local_pref=local_pref)
+        if backup_session:
+            router.add_peer(BACKUP_PEER_AS)
+            router.speaker.session(BACKUP_PEER_AS).record_stream = False
+            alternates = {
+                prefix: ASPath([BACKUP_PEER_AS, path.origin_as or BACKUP_PEER_AS + 1])
+                for prefix, path in rib.items()
+            }
+            router.load_initial_routes(
+                BACKUP_PEER_AS, alternates, local_pref=max(1, local_pref // 2)
+            )
+        speaker = router.speaker
+        speaker.add_best_route_listener(count_events)
+        router.provision()
+        receive = router.receive_columnar
+    else:
+        speaker = BGPSpeaker(local_as)
+        speaker.add_peer(peer_as)
+        speaker.session(peer_as).record_stream = False
+        from repro.bgp.attributes import PathAttributes
+        from repro.bgp.messages import Update
+
+        interned = {}
+
+        def attributes_for(path):
+            attributes = interned.get(path.asns)
+            if attributes is None:
+                attributes = interned[path.asns] = PathAttributes(
+                    as_path=path, next_hop=peer_as, local_pref=local_pref
+                )
+            return attributes
+
+        speaker.receive_batch(
+            Update.announce(0.0, peer_as, prefix, attributes_for(path))
+            for prefix, path in sorted(rib.items())
+        )
+        speaker.add_best_route_listener(count_events)
+        receive = speaker.receive_columnar
+
+    chunks = 0
+    begin = time.perf_counter()
+    for chunk in _chunked_runs(stream, chunk_messages):
+        chunks += 1
+        result = receive(chunk)
+        if swifted:
+            reroutes += len(result)
+    wall_seconds = time.perf_counter() - begin
+
+    return MonthReplayResult(
+        peer_as=peer_as,
+        message_count=stream.message_count,
+        withdrawal_count=stream.withdrawal_total,
+        announcement_count=stream.announcement_total,
+        reroutes=reroutes,
+        losses=losses,
+        recoveries=recoveries,
+        chunks=chunks,
+        wall_seconds=wall_seconds,
+    )
+
+
+def run(
+    config: Optional[SyntheticTraceConfig] = None,
+    peer_as: Optional[int] = None,
+    local_as: int = 1,
+    swift_config: Optional[SwiftConfig] = None,
+    chunk_messages: int = 50000,
+    swifted: bool = True,
+) -> MonthReplayResult:
+    """Replay a (cached) month-long session stream end-to-end.
+
+    The stream comes from :func:`cached_columnar_stream` — generated once,
+    reloaded from the columnar cache afterwards — and the session's
+    pre-trace RIB is rebuilt deterministically from the generator's
+    topology.  Defaults to the first peer of the configured fleet.
+    """
+    config = config or SyntheticTraceConfig(
+        peer_count=4, duration_days=10.0, min_table_size=4000, max_table_size=20000
+    )
+    generator_stream = SyntheticTraceGenerator(config).stream()
+    if peer_as is None:
+        peer_as = generator_stream.peers[0].peer_as
+    stream = cached_columnar_stream(config, peer_as)
+    rib = generator_stream.rib_of(peer_as)
+    return replay_stream(
+        stream,
+        rib,
+        peer_as=peer_as,
+        local_as=local_as,
+        swift_config=swift_config,
+        chunk_messages=chunk_messages,
+        swifted=swifted,
+    )
+
+
+def format_result(result: MonthReplayResult) -> str:
+    """Render the replay counters."""
+    rows = [
+        ("messages replayed", result.message_count),
+        ("withdrawals", result.withdrawal_count),
+        ("announcements", result.announcement_count),
+        ("reroute activations", result.reroutes),
+        ("loss events", result.losses),
+        ("recovery events", result.recoveries),
+        ("replay chunks", result.chunks),
+        ("wall seconds", round(result.wall_seconds, 2)),
+        ("messages / second", int(result.messages_per_second)),
+    ]
+    return format_table(
+        ["Quantity", "value"],
+        rows,
+        title=f"Month-scale replay of session {result.peer_as}",
+    )

@@ -7,6 +7,13 @@ next-hops, a median of 64 data-plane rule updates — installable within
 measures, over a burst corpus, the number of inferred links, the number of
 wildcard rules a SWIFTED router would install, and the modelled data-plane
 update latency.
+
+Cache-reloaded corpora arrive in columnar form
+(:func:`repro.experiments.common.cached_corpus`): each burst's ``messages``
+is a lazy view over shared columns — materialised once here, as the
+inference engine consumes it — and bursts of a session share their decoded
+RIB dict by identity, which is what the per-RIB encoding memo below keys
+on.
 """
 
 from __future__ import annotations

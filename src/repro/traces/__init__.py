@@ -16,16 +16,33 @@ this package provides:
 
 from repro.traces.bursts import Burst, BurstExtractor, BurstExtractionConfig
 from repro.traces.collectors import Collector, CollectorPeer, build_collector_fleet
-from repro.traces.mrt import TraceRecord, TraceReader, TraceWriter, records_to_messages
+from repro.traces.columnar import (
+    COLUMNAR_FORMAT_VERSION,
+    ColumnarMessageView,
+    ColumnarRun,
+    ColumnarTrace,
+    InternPool,
+    decode_rib,
+    encode_rib,
+)
+from repro.traces.mrt import (
+    TraceRecord,
+    TraceReader,
+    TraceWriter,
+    records_to_columnar,
+    records_to_messages,
+)
 from repro.traces.popularity import POPULAR_ORGANIZATIONS, PopularOrigin, is_popular_asn
 from repro.traces.session_topology import SessionTopology, SessionTopologyConfig
 from repro.traces.synthetic import (
     BurstPlan,
+    ColumnarSyntheticTrace,
     SyntheticBurst,
     SyntheticTrace,
     SyntheticTraceConfig,
     SyntheticTraceGenerator,
     SyntheticTraceStream,
+    cached_columnar_stream,
     cached_trace,
 )
 
@@ -34,8 +51,14 @@ __all__ = [
     "BurstExtractionConfig",
     "BurstExtractor",
     "BurstPlan",
+    "COLUMNAR_FORMAT_VERSION",
     "Collector",
     "CollectorPeer",
+    "ColumnarMessageView",
+    "ColumnarRun",
+    "ColumnarSyntheticTrace",
+    "ColumnarTrace",
+    "InternPool",
     "POPULAR_ORGANIZATIONS",
     "PopularOrigin",
     "SessionTopology",
@@ -49,7 +72,11 @@ __all__ = [
     "TraceRecord",
     "TraceWriter",
     "build_collector_fleet",
+    "cached_columnar_stream",
     "cached_trace",
+    "decode_rib",
+    "encode_rib",
     "is_popular_asn",
+    "records_to_columnar",
     "records_to_messages",
 ]

@@ -21,12 +21,14 @@ from typing import IO, Iterable, Iterator, List, Optional, Sequence, Union
 from repro.bgp.attributes import ASPath, PathAttributes
 from repro.bgp.messages import BGPMessage, Notification, Update
 from repro.bgp.prefix import Prefix
+from repro.traces.columnar import ColumnarTrace, InternPool
 
 __all__ = [
     "TraceReader",
     "TraceRecord",
     "TraceWriter",
     "messages_to_records",
+    "records_to_columnar",
     "records_to_messages",
 ]
 
@@ -135,6 +137,15 @@ class TraceReader:
         """Materialise every record in a list."""
         return list(iter(self))
 
+    def read_columnar(self, pool: Optional[InternPool] = None) -> ColumnarTrace:
+        """Parse the whole dump straight into columns.
+
+        Streams records through :func:`records_to_columnar` — the file is
+        read line by line and at no point does an object-form message list
+        exist, which is how month-scale dumps should be loaded for replay.
+        """
+        return records_to_columnar(iter(self), pool=pool)
+
 
 def messages_to_records(messages: Iterable[BGPMessage]) -> List[TraceRecord]:
     """Convert BGP messages into trace records (UPDATE and NOTIFICATION only)."""
@@ -167,6 +178,44 @@ def messages_to_records(messages: Iterable[BGPMessage]) -> List[TraceRecord]:
                 )
             )
     return records
+
+
+def records_to_columnar(
+    records: Iterable[TraceRecord], pool: Optional[InternPool] = None
+) -> ColumnarTrace:
+    """Parse trace records into a columnar stream (one prefix per message).
+
+    Mirrors :func:`records_to_messages` — ``W`` becomes a withdrawal UPDATE
+    row, ``A``/``R`` an announcement row, ``S`` a NOTIFICATION row — but
+    writes columns directly: prefixes, AS paths and attribute sets are
+    interned in the pool and the per-message state is a handful of array
+    appends, so a dump parses into replayable form without building the
+    object stream.
+    """
+    trace = ColumnarTrace(pool=pool)
+    # Records repeat (path, peer) pairs heavily; interning the constructed
+    # attribute objects here keeps the pool's value-keyed dedup from
+    # rebuilding an identical PathAttributes per record.
+    attributes_of: dict = {}
+    for record in records:
+        if record.type == "W":
+            assert record.prefix is not None
+            trace.withdraw(record.timestamp, record.peer_as, record.prefix)
+        elif record.type in ("A", "R"):
+            assert record.prefix is not None and record.as_path is not None
+            key = (record.as_path.asns, record.peer_as)
+            attributes = attributes_of.get(key)
+            if attributes is None:
+                attributes = attributes_of[key] = PathAttributes(
+                    as_path=record.as_path,
+                    next_hop=record.as_path.first_hop or record.peer_as,
+                )
+            trace.announce(record.timestamp, record.peer_as, record.prefix, attributes)
+        elif record.type == "S":
+            trace.append(
+                Notification(timestamp=record.timestamp, peer_as=record.peer_as)
+            )
+    return trace
 
 
 def records_to_messages(records: Iterable[TraceRecord]) -> List[BGPMessage]:

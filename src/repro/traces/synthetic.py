@@ -34,6 +34,7 @@ import heapq
 import itertools
 import math
 import random
+from array import array
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
@@ -42,15 +43,26 @@ from repro.bgp.attributes import ASPath, PathAttributes
 from repro.bgp.messages import BGPMessage, Update
 from repro.bgp.prefix import Prefix
 from repro.traces.collectors import Collector, CollectorPeer, build_collector_fleet
+from repro.traces.columnar import (
+    COLUMNAR_FORMAT_VERSION,
+    ColumnarMessageView,
+    ColumnarTrace,
+    InternPool,
+    decode_rib,
+    encode_rib,
+)
 from repro.traces.session_topology import SessionTopology, SessionTopologyConfig
 
 __all__ = [
     "BurstPlan",
+    "ColumnarSyntheticTrace",
     "SyntheticBurst",
     "SyntheticTrace",
     "SyntheticTraceConfig",
     "SyntheticTraceGenerator",
     "SyntheticTraceStream",
+    "cached_columnar_stream",
+    "cached_trace",
 ]
 
 SECONDS_PER_DAY = 86400.0
@@ -128,7 +140,14 @@ class SyntheticBurst:
 
     @property
     def withdrawal_count(self) -> int:
-        """Number of withdrawn prefixes (including noise withdrawals)."""
+        """Number of withdrawn prefixes (including noise withdrawals).
+
+        Column-backed bursts (cache reloads) answer from the withdrawal
+        bounds without materialising a single message object.
+        """
+        counter = getattr(self.messages, "withdrawal_count", None)
+        if counter is not None:
+            return counter()
         return sum(
             len(m.withdrawals) for m in self.messages if isinstance(m, Update)
         )
@@ -143,12 +162,18 @@ class SyntheticBurst:
         """Burst duration in seconds."""
         if len(self.messages) < 2:
             return 0.0
+        last = getattr(self.messages, "last_timestamp", None)
+        if last is not None:
+            return last - self.messages.first_timestamp
         return self.messages[-1].timestamp - self.messages[0].timestamp
 
     @property
     def end_time(self) -> float:
         """Timestamp of the last message of the burst."""
-        return self.messages[-1].timestamp if self.messages else self.start_time
+        if not len(self.messages):
+            return self.start_time
+        last = getattr(self.messages, "last_timestamp", None)
+        return last if last is not None else self.messages[-1].timestamp
 
 
 @dataclass
@@ -572,6 +597,22 @@ class SyntheticTraceStream:
             yield message
             push(iterator)
 
+    def columnar_messages(
+        self, peer_as: int, pool: Optional[InternPool] = None
+    ) -> ColumnarTrace:
+        """Drain one session's full stream straight into a columnar writer.
+
+        The per-burst message lists are materialised one at a time by
+        :meth:`iter_messages` and appended to the columns immediately, so at
+        no point does the month-long object stream exist in memory — this is
+        the builder behind :func:`cached_columnar_stream`.
+        """
+        trace = ColumnarTrace(pool=pool)
+        append = trace.append
+        for message in self.iter_messages(peer_as):
+            append(message)
+        return trace
+
     # -- eager drain -----------------------------------------------------------
 
     def materialise(self) -> SyntheticTrace:
@@ -596,19 +637,178 @@ class SyntheticTraceStream:
         )
 
 
-def cached_trace(config: Optional[SyntheticTraceConfig] = None) -> SyntheticTrace:
-    """Generate (or reload from the on-disk cache) an eager trace.
+class ColumnarSyntheticTrace(SyntheticTrace):
+    """A cache-reloaded trace whose heavy state lives in columns.
 
-    The trace is a pure function of its configuration, so the pickle under
-    ``.trace_cache/`` keyed by the config's repr is always valid for the
-    running code version; see :mod:`repro.traces.trace_cache`.  First call
-    pays the full generation, subsequent sessions reload in seconds.
+    Behaves like :class:`SyntheticTrace` — same bursts, RIBs and message
+    streams — but burst/background message lists are lazy
+    :class:`~repro.traces.columnar.ColumnarMessageView`\\ s over shared
+    columns and per-session RIBs decode on first access.  ``topologies`` is
+    intentionally empty: the cache stores RIB columns, not the generator's
+    internal tree structures.
     """
-    from repro.traces.trace_cache import load_or_build
+
+    def __init__(
+        self,
+        config: SyntheticTraceConfig,
+        peers: List[CollectorPeer],
+        bursts: List[SyntheticBurst],
+        background: Dict[int, List[BGPMessage]],
+        pool: InternPool,
+        rib_columns: Dict[int, Tuple],
+    ) -> None:
+        super().__init__(
+            config=config,
+            peers=peers,
+            topologies={},
+            bursts=bursts,
+            background=background,
+        )
+        self._pool = pool
+        self._rib_columns = rib_columns
+        self._rib_cache: Dict[int, Dict[Prefix, ASPath]] = {}
+
+    def rib_of(self, peer_as: int) -> Dict[Prefix, ASPath]:
+        """Pre-trace RIB snapshot of a session (decoded once, then memoised)."""
+        rib = self._rib_cache.get(peer_as)
+        if rib is None:
+            prefix_column, path_column = self._rib_columns[peer_as]
+            rib = self._rib_cache[peer_as] = decode_rib(
+                prefix_column, path_column, self._pool
+            )
+        return rib
+
+
+def _encode_trace(trace: SyntheticTrace) -> dict:
+    """Encode an eager trace as a columnar payload (see ``cached_trace``)."""
+    pool = InternPool()
+    intern_prefix = pool.intern_prefix
+    burst_columns = ColumnarTrace(pool=pool)
+    burst_rows = []
+    for burst in trace.bursts:
+        start = burst_columns.message_count
+        burst_columns.extend(burst.messages)
+        burst_rows.append(
+            (
+                burst.peer,
+                burst.start_time,
+                burst.failed_link,
+                start,
+                burst_columns.message_count,
+                array("I", map(intern_prefix, burst.withdrawn_prefixes)),
+                array("I", map(intern_prefix, burst.updated_prefixes)),
+                array("I", map(intern_prefix, burst.noise_prefixes)),
+                burst.popular,
+            )
+        )
+    background = {
+        peer_as: ColumnarTrace.from_messages(messages, pool=pool)
+        for peer_as, messages in trace.background.items()
+        if messages
+    }
+    ribs = {
+        peer.peer_as: encode_rib(trace.rib_of(peer.peer_as), pool)
+        for peer in trace.peers
+    }
+    return {
+        "config": trace.config,
+        "peers": trace.peers,
+        "pool": pool,
+        "bursts_trace": burst_columns,
+        "bursts": burst_rows,
+        "background": background,
+        "ribs": ribs,
+    }
+
+
+def _decode_trace(payload: dict) -> ColumnarSyntheticTrace:
+    """Rebuild a (lazy) trace from its columnar payload."""
+    pool: InternPool = payload["pool"]
+    burst_columns: ColumnarTrace = payload["bursts_trace"]
+    prefix_at = pool.prefix_at
+    bursts: List[SyntheticBurst] = []
+    for (
+        peer,
+        start_time,
+        failed_link,
+        message_start,
+        message_stop,
+        withdrawn,
+        updated,
+        noise,
+        popular,
+    ) in payload["bursts"]:
+        bursts.append(
+            SyntheticBurst(
+                peer=peer,
+                start_time=start_time,
+                failed_link=failed_link,
+                messages=ColumnarMessageView(
+                    burst_columns, range(message_start, message_stop)
+                ),
+                withdrawn_prefixes=frozenset(map(prefix_at, withdrawn)),
+                updated_prefixes=frozenset(map(prefix_at, updated)),
+                noise_prefixes=frozenset(map(prefix_at, noise)),
+                popular=popular,
+            )
+        )
+    background = {
+        peer_as: columns.view() for peer_as, columns in payload["background"].items()
+    }
+    return ColumnarSyntheticTrace(
+        config=payload["config"],
+        peers=payload["peers"],
+        bursts=bursts,
+        background=background,
+        pool=pool,
+        rib_columns=payload["ribs"],
+    )
+
+
+def cached_trace(config: Optional[SyntheticTraceConfig] = None) -> SyntheticTrace:
+    """Generate (or reload from the on-disk cache) a multi-session trace.
+
+    The trace is a pure function of its configuration, so the entry under
+    ``.trace_cache/`` — keyed by the config's full fingerprint plus the
+    cache and columnar format versions — is always valid for the running
+    code; see :mod:`repro.traces.trace_cache`.  The persisted form is a
+    columnar payload (arrays of primitives restoring at memcpy speed), so a
+    reload costs array restores plus lazy decoding instead of unpickling
+    millions of message objects; the first call pays the full generation
+    and returns the eager trace, later sessions get an equivalent
+    :class:`ColumnarSyntheticTrace`.
+    """
+    from repro.traces.trace_cache import fingerprint, load_or_build
 
     config = config or SyntheticTraceConfig()
     return load_or_build(
-        "trace", repr(config), lambda: SyntheticTraceGenerator(config).generate()
+        "trace",
+        fingerprint(config),
+        lambda: SyntheticTraceGenerator(config).generate(),
+        format_version=COLUMNAR_FORMAT_VERSION,
+        encode=_encode_trace,
+        decode=_decode_trace,
+    )
+
+
+def cached_columnar_stream(
+    config: SyntheticTraceConfig, peer_as: int
+) -> ColumnarTrace:
+    """The full columnar message stream of one session, memoised on disk.
+
+    The natural input of the month-replay drivers: a
+    :class:`~repro.traces.columnar.ColumnarTrace` is its own cache payload
+    (its pickle is the columnar blob), so reloads are array restores and
+    replay consumes :meth:`~repro.traces.columnar.ColumnarTrace.iter_batches`
+    without ever materialising the object stream.
+    """
+    from repro.traces.trace_cache import fingerprint, load_or_build
+
+    return load_or_build(
+        "stream",
+        f"{fingerprint(config)}|peer={peer_as}",
+        lambda: SyntheticTraceGenerator(config).stream().columnar_messages(peer_as),
+        format_version=COLUMNAR_FORMAT_VERSION,
     )
 
 

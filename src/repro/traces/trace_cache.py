@@ -2,10 +2,29 @@
 
 The synthetic month traces behind the benchmark suite take minutes to
 generate but are pure functions of their configuration, so they are perfect
-memoisation targets: :func:`load_or_build` pickles the built value under a
-key derived from the configuration's repr (plus a cache version bumped
-whenever the generator's output changes), and later sessions reload it in
-seconds instead of regenerating.
+memoisation targets: :func:`load_or_build` persists the built value under a
+key derived from the configuration's fingerprint, and later sessions reload
+it in seconds instead of regenerating.
+
+Cache keys are *hardened* on two axes:
+
+* every key embeds the global :data:`CACHE_VERSION` **and** the caller's
+  per-format ``format_version`` (e.g. the columnar schema version), so
+  entries written by older code — in particular the pre-columnar
+  pickled-object-graph traces — are never even opened: a version bump
+  changes the file name and the stale entry simply stops being referenced
+  (migration is transparent: the value is rebuilt and re-cached under the
+  new key);
+* :func:`fingerprint` renders a configuration *including its default
+  fields*, so changing a default changes the key even for callers that
+  never passed the field explicitly.
+
+Values may be persisted through an ``encode``/``decode`` pair — this is how
+trace payloads are stored as columnar array blobs
+(:mod:`repro.traces.columnar`) instead of pickled object graphs.  As a last
+line of defence, columnar blobs embed their own format version and refuse
+to restore across versions; the resulting exception is treated as a miss,
+so a stale entry can never be half-loaded.
 
 The cache lives in ``.trace_cache/`` at the repository root by default;
 set ``REPRO_TRACE_CACHE`` to relocate it or ``REPRO_TRACE_CACHE=off`` to
@@ -15,17 +34,24 @@ Corrupt or unreadable cache files are treated as misses and rebuilt.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import os
 import pickle
 import tempfile
 from typing import Any, Callable, Optional
 
-__all__ = ["cache_path_for", "clear_cache", "load_or_build"]
+__all__ = [
+    "cache_path_for",
+    "clear_cache",
+    "fingerprint",
+    "load_or_build",
+]
 
-#: Bump when the generator's output for a given configuration changes, so
-#: stale pickles from older code are never served.
-CACHE_VERSION = 4
+#: Bump when the generators' output for a given configuration changes, so
+#: stale entries from older code are never served.  v5: trace payloads moved
+#: from pickled object graphs to columnar blobs.
+CACHE_VERSION = 5
 
 _ENV_VAR = "REPRO_TRACE_CACHE"
 
@@ -46,45 +72,93 @@ def _cache_dir() -> Optional[str]:
     return _default_cache_dir()
 
 
-def cache_path_for(kind: str, spec: str) -> Optional[str]:
+def fingerprint(value: Any) -> str:
+    """Deterministic, default-inclusive description of a configuration.
+
+    Dataclasses render with *every* field (sorted by name), so defaulted
+    parameters participate in the cache key; mappings and sets render with
+    sorted keys/members.  Anything else falls back to ``repr``, which is
+    deterministic for the value types configurations are built from.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{field.name}={fingerprint(getattr(value, field.name))}"
+            for field in sorted(dataclasses.fields(value), key=lambda f: f.name)
+        )
+        return f"{type(value).__name__}({fields})"
+    if isinstance(value, dict):
+        items = ",".join(
+            f"{fingerprint(key)}:{fingerprint(value[key])}" for key in sorted(value)
+        )
+        return f"{{{items}}}"
+    if isinstance(value, (set, frozenset)):
+        return f"{{{','.join(sorted(fingerprint(item) for item in value))}}}"
+    if isinstance(value, (list, tuple)):
+        body = ",".join(fingerprint(item) for item in value)
+        return f"[{body}]" if isinstance(value, list) else f"({body})"
+    return repr(value)
+
+
+def cache_path_for(
+    kind: str, spec: str, format_version: Optional[int] = None
+) -> Optional[str]:
     """The cache file a (kind, spec) pair would use, or ``None`` if disabled.
 
     ``spec`` should be a deterministic description of everything the built
-    value depends on — typically the ``repr`` of a frozen config dataclass.
+    value depends on — prefer :func:`fingerprint` of the full configuration
+    over a bare ``repr``, so defaulted parameters are part of the key.
+    ``format_version`` is the caller's on-disk format version (e.g.
+    :data:`repro.traces.columnar.COLUMNAR_FORMAT_VERSION`); bumping either
+    version changes the key, so pre-bump entries miss cleanly.
     """
     directory = _cache_dir()
     if directory is None:
         return None
     digest = hashlib.sha256(
-        f"v{CACHE_VERSION}|{kind}|{spec}".encode("utf-8")
+        f"v{CACHE_VERSION}|f{format_version}|{kind}|{spec}".encode("utf-8")
     ).hexdigest()[:24]
     return os.path.join(directory, f"{kind}-{digest}.pkl")
 
 
-def load_or_build(kind: str, spec: str, builder: Callable[[], Any]) -> Any:
+def load_or_build(
+    kind: str,
+    spec: str,
+    builder: Callable[[], Any],
+    format_version: Optional[int] = None,
+    encode: Optional[Callable[[Any], Any]] = None,
+    decode: Optional[Callable[[Any], Any]] = None,
+) -> Any:
     """Return the memoised value for (kind, spec), building it on a miss.
 
+    When ``encode``/``decode`` are given, the cache persists
+    ``encode(value)`` (e.g. a columnar array payload) and returns
+    ``decode(payload)`` on a hit; a miss returns the freshly built value
+    directly.  Any failure to read, decode or write — including a columnar
+    blob refusing to restore across format versions — silently degrades to
+    ``builder()``: stale or corrupt entries are never half-loaded.
+
     The write is atomic (temp file + rename) so concurrent test sessions
-    never observe a half-written pickle; any failure to read or write the
-    cache silently degrades to calling ``builder()``.
+    never observe a half-written entry.
     """
-    path = cache_path_for(kind, spec)
+    path = cache_path_for(kind, spec, format_version=format_version)
     if path is not None and os.path.exists(path):
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                payload = pickle.load(handle)
+            return decode(payload) if decode is not None else payload
         except Exception:
             pass  # corrupt / incompatible cache entry: rebuild below
     value = builder()
     if path is not None:
         try:
+            payload = encode(value) if encode is not None else value
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, temp_path = tempfile.mkstemp(
                 dir=os.path.dirname(path), suffix=".tmp"
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(temp_path, path)
             except Exception:
                 os.unlink(temp_path)
