@@ -26,13 +26,19 @@ is one speaker batch (decision process once per touched prefix), matching
 how a deployment drains its BGP sockets in bulk.  Chunking does not change
 results — the batched path's loss/recovery multiset matches per-message
 replay regardless of batch boundaries.
+
+This module replays *one* session; :mod:`repro.replay` fans the same
+``replay_stream`` over every session of a corpus with one worker process
+per session (§4.1 independence), aggregating the per-session results — and
+their ``collect_events`` multisets — deterministically.
 """
 
 from __future__ import annotations
 
 import time
+from collections import Counter
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.bgp.speaker import BGPSpeaker
 from repro.core.swifted_router import SwiftConfig, SwiftedRouter
@@ -44,7 +50,32 @@ from repro.traces.synthetic import (
     cached_columnar_stream,
 )
 
-__all__ = ["MonthReplayResult", "replay_stream", "run", "format_result"]
+__all__ = [
+    "BACKUP_ORIGIN_AS",
+    "BACKUP_PEER_AS",
+    "DEFAULT_REPLAY_CONFIG",
+    "MonthReplayResult",
+    "backup_alternates",
+    "format_result",
+    "replay_stream",
+    "run",
+]
+
+#: The corpus both month-scale drivers default to — :func:`run` here and
+#: :func:`repro.replay.fleet.replay_fleet` — so their sequential-vs-fleet
+#: parity story always exercises the same sessions.
+DEFAULT_REPLAY_CONFIG = SyntheticTraceConfig(
+    peer_count=4, duration_days=10.0, min_table_size=4000, max_table_size=20000
+)
+
+#: A multiset in canonical form: sorted ``(key, count)`` pairs.  Sorting
+#: makes the form byte-identical across replays — the property the fleet
+#: driver's parity checks rely on.
+EventMultiset = Tuple[Tuple[object, int], ...]
+
+
+def _canonical_multiset(counter: Counter) -> EventMultiset:
+    return tuple(sorted(counter.items()))
 
 
 @dataclass
@@ -60,6 +91,14 @@ class MonthReplayResult:
     recoveries: int
     chunks: int
     wall_seconds: float
+    #: Canonical multisets of the replay's events, populated when the run
+    #: was asked to ``collect_events`` (the fleet driver always does): loss
+    #: and recovery events keyed by ``(network, length)`` prefix pairs,
+    #: reroute activations keyed by ``(timestamp, peer AS, inferred links,
+    #: rerouted-prefix count, rule count)``.
+    loss_events: Optional[EventMultiset] = None
+    recovery_events: Optional[EventMultiset] = None
+    reroute_events: Optional[EventMultiset] = None
 
     @property
     def messages_per_second(self) -> float:
@@ -67,6 +106,26 @@ class MonthReplayResult:
         if self.wall_seconds <= 0:
             return 0.0
         return self.message_count / self.wall_seconds
+
+    def signature(self) -> tuple:
+        """Everything deterministic about the run — no wall-clock noise.
+
+        Two replays of the same stream (in the same or different processes)
+        must produce equal signatures; the fleet parity tests compare the
+        pickled bytes of these.
+        """
+        return (
+            self.peer_as,
+            self.message_count,
+            self.withdrawal_count,
+            self.announcement_count,
+            self.reroutes,
+            self.losses,
+            self.recoveries,
+            self.loss_events,
+            self.recovery_events,
+            self.reroute_events,
+        )
 
 
 def _chunked_runs(
@@ -89,6 +148,37 @@ def _chunked_runs(
 #: Neighbor AS of the synthetic surviving session backing a SWIFTED replay.
 BACKUP_PEER_AS = 64512
 
+#: Fallback origin of a backup alternate when the primary path's own origin
+#: cannot be reused (absent, invalid, or colliding with the backup peer).
+BACKUP_ORIGIN_AS = BACKUP_PEER_AS + 1
+
+
+def _alternate_origin(origin_as: Optional[int]) -> int:
+    """A collision-free origin for the two-hop backup alternate.
+
+    Reusing the primary origin keeps the alternate pointing at the same
+    destination AS, but three cases must fall back to the synthetic
+    :data:`BACKUP_ORIGIN_AS`: a missing origin (empty path), a non-positive
+    one (``or`` used to conflate 0 with "absent", and :class:`ASPath`
+    rejects it anyway), and — the silent one — an origin equal to
+    :data:`BACKUP_PEER_AS` itself, which used to produce the looped path
+    ``[64512, 64512]`` that loop detection drops, leaving the prefix with
+    no backup at all.
+    """
+    if origin_as is None or origin_as <= 0 or origin_as == BACKUP_PEER_AS:
+        return BACKUP_ORIGIN_AS
+    return origin_as
+
+
+def backup_alternates(rib) -> dict:
+    """The backup session's loop-free two-hop alternate for every RIB prefix."""
+    from repro.bgp.attributes import ASPath
+
+    return {
+        prefix: ASPath([BACKUP_PEER_AS, _alternate_origin(path.origin_as)])
+        for prefix, path in rib.items()
+    }
+
 
 def replay_stream(
     stream: ColumnarTrace,
@@ -100,6 +190,7 @@ def replay_stream(
     swifted: bool = True,
     local_pref: int = 100,
     backup_session: bool = True,
+    collect_events: bool = False,
 ) -> MonthReplayResult:
     """Replay one session's columnar stream through a router.
 
@@ -113,22 +204,34 @@ def replay_stream(
     the Fig. 1 structure where AS 3 survives the (5, 6) failure.  Synthetic
     per-session prefix spaces are disjoint, so without it the router would
     have no backup next-hops and inferences could never install a rule.
+
+    With ``collect_events=True`` the result also carries the canonical
+    loss / recovery / reroute multisets (see
+    :class:`MonthReplayResult`), which is what the fleet driver aggregates
+    and parity-checks against sequential replay.
     """
     losses = 0
     recoveries = 0
     reroutes = 0
+    loss_counter: Optional[Counter] = Counter() if collect_events else None
+    recovery_counter: Optional[Counter] = Counter() if collect_events else None
+    reroute_counter: Optional[Counter] = Counter() if collect_events else None
 
     def count_events(changes) -> None:
         nonlocal losses, recoveries
         for change in changes:
             if change.is_loss_of_reachability:
                 losses += 1
+                if loss_counter is not None:
+                    prefix = change.prefix
+                    loss_counter[(prefix.network, prefix.length)] += 1
             elif change.is_recovery:
                 recoveries += 1
+                if recovery_counter is not None:
+                    prefix = change.prefix
+                    recovery_counter[(prefix.network, prefix.length)] += 1
 
     if swifted:
-        from repro.bgp.attributes import ASPath
-
         router = SwiftedRouter(local_as, config=swift_config)
         # Recording off *before* the table loads: neither the initial dump
         # nor the month of replay messages may accumulate in MessageStream.
@@ -138,12 +241,8 @@ def replay_stream(
         if backup_session:
             router.add_peer(BACKUP_PEER_AS)
             router.speaker.session(BACKUP_PEER_AS).record_stream = False
-            alternates = {
-                prefix: ASPath([BACKUP_PEER_AS, path.origin_as or BACKUP_PEER_AS + 1])
-                for prefix, path in rib.items()
-            }
             router.load_initial_routes(
-                BACKUP_PEER_AS, alternates, local_pref=max(1, local_pref // 2)
+                BACKUP_PEER_AS, backup_alternates(rib), local_pref=max(1, local_pref // 2)
             )
         speaker = router.speaker
         speaker.add_best_route_listener(count_events)
@@ -180,6 +279,17 @@ def replay_stream(
         result = receive(chunk)
         if swifted:
             reroutes += len(result)
+            if reroute_counter is not None:
+                for action in result:
+                    reroute_counter[
+                        (
+                            action.timestamp,
+                            action.peer_as,
+                            action.inferred_links,
+                            len(action.rerouted_prefixes),
+                            len(action.rules),
+                        )
+                    ] += 1
     wall_seconds = time.perf_counter() - begin
 
     return MonthReplayResult(
@@ -192,6 +302,19 @@ def replay_stream(
         recoveries=recoveries,
         chunks=chunks,
         wall_seconds=wall_seconds,
+        loss_events=(
+            _canonical_multiset(loss_counter) if loss_counter is not None else None
+        ),
+        recovery_events=(
+            _canonical_multiset(recovery_counter)
+            if recovery_counter is not None
+            else None
+        ),
+        reroute_events=(
+            _canonical_multiset(reroute_counter)
+            if reroute_counter is not None
+            else None
+        ),
     )
 
 
@@ -210,9 +333,7 @@ def run(
     pre-trace RIB is rebuilt deterministically from the generator's
     topology.  Defaults to the first peer of the configured fleet.
     """
-    config = config or SyntheticTraceConfig(
-        peer_count=4, duration_days=10.0, min_table_size=4000, max_table_size=20000
-    )
+    config = config or DEFAULT_REPLAY_CONFIG
     generator_stream = SyntheticTraceGenerator(config).stream()
     if peer_as is None:
         peer_as = generator_stream.peers[0].peer_as

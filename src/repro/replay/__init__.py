@@ -1,0 +1,28 @@
+"""Fleet-parallel replay: per-session process workers over columnar buffers.
+
+The paper's per-session independence (§4.1) makes corpus replay
+embarrassingly parallel; this package ships each session's columnar stream
+to a worker process as raw buffers and aggregates the per-session results
+deterministically.  See :mod:`repro.replay.fleet` and ``README.md`` in this
+directory.
+"""
+
+from repro.replay.fleet import (
+    FleetReplayResult,
+    SessionJob,
+    build_session_jobs,
+    format_fleet_result,
+    iter_session_jobs,
+    replay_fleet,
+    replay_jobs,
+)
+
+__all__ = [
+    "FleetReplayResult",
+    "SessionJob",
+    "build_session_jobs",
+    "format_fleet_result",
+    "iter_session_jobs",
+    "replay_fleet",
+    "replay_jobs",
+]

@@ -1,0 +1,385 @@
+"""Process-pool fleet replay over shared columnar buffers.
+
+§4.1 of the paper makes burst inference a *per-session* computation — no
+state crosses peering sessions — so a month-scale corpus replay is
+embarrassingly parallel: one worker per session, no coordination beyond the
+final aggregation.  This driver exploits exactly that:
+
+* each session's input ships to its worker as a **raw-buffer payload**
+  (:meth:`~repro.traces.columnar.ColumnarTrace.to_payload` — plain
+  ``bytes`` per column, the session's pre-trace RIB as two more column
+  buffers over the same interning pool), so the inter-process transport is
+  a handful of memcpys, never an object-graph pickle;
+* each worker rebuilds the trace with
+  :meth:`~repro.traces.columnar.ColumnarTrace.from_payload`, replays it
+  through :func:`repro.experiments.month_replay.replay_stream` (SWIFTED or
+  speaker-only) and returns the session's
+  :class:`~repro.experiments.month_replay.MonthReplayResult` — counters
+  plus canonical loss / recovery / reroute multisets;
+* the driver aggregates **deterministically**: per-session results are
+  ordered by peer AS and the fleet-level multisets are canonical sorted
+  forms, so a fleet run is byte-identical to a sequential replay of the
+  same corpus — asserted, not assumed, by the parity suite
+  (``tests/test_fleet_replay.py``).
+
+Workers default to a forked pool (cheap on Linux; the payload is still
+shipped explicitly, so a ``spawn`` context works identically).
+``workers=1`` — or a single job — replays inline in this process through
+the *same* job/worker code path, which is what the parity tests compare
+against.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from array import array
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.swifted_router import SwiftConfig
+from repro.experiments.month_replay import (
+    DEFAULT_REPLAY_CONFIG,
+    EventMultiset,
+    MonthReplayResult,
+    replay_stream,
+)
+from repro.metrics.tables import format_table
+from repro.traces.columnar import ColumnarTrace, decode_rib, encode_rib
+from repro.traces.synthetic import (
+    SyntheticTraceConfig,
+    SyntheticTraceGenerator,
+    cached_columnar_stream,
+)
+
+__all__ = [
+    "FleetReplayResult",
+    "SessionJob",
+    "build_session_jobs",
+    "format_fleet_result",
+    "iter_session_jobs",
+    "replay_fleet",
+    "replay_jobs",
+]
+
+
+@dataclass(frozen=True)
+class SessionJob:
+    """One session's replay input in ship-across-processes form.
+
+    ``payload`` is the stream's raw-buffer export; ``rib_prefix`` /
+    ``rib_path`` are the pre-trace Adj-RIB-In snapshot encoded as two
+    ``u32`` column buffers indexing into the payload's interning pool (the
+    RIB is interned *before* the payload export, so every index resolves).
+    """
+
+    peer_as: int
+    payload: dict
+    rib_prefix: bytes
+    rib_path: bytes
+
+    @classmethod
+    def from_stream(
+        cls, peer_as: int, stream: ColumnarTrace, rib: dict
+    ) -> "SessionJob":
+        """Package a session's stream + RIB snapshot into a job."""
+        # Intern the RIB first: it may reference prefixes/paths the message
+        # stream never carries, and the payload must contain them.
+        prefix_column, path_column = encode_rib(rib, stream.pool)
+        return cls(
+            peer_as=peer_as,
+            payload=stream.to_payload(),
+            rib_prefix=prefix_column.tobytes(),
+            rib_path=path_column.tobytes(),
+        )
+
+
+@dataclass(frozen=True)
+class _ReplayOptions:
+    """The replay knobs every worker applies identically."""
+
+    local_as: int = 1
+    swifted: bool = True
+    swift_config: Optional[SwiftConfig] = None
+    chunk_messages: int = 50000
+    local_pref: int = 100
+    backup_session: bool = True
+
+
+def _replay_job(job: SessionJob, options: _ReplayOptions) -> MonthReplayResult:
+    """Rebuild one session from its buffers and replay it (worker body).
+
+    Runs in the worker process under the pool driver — and inline for
+    ``workers=1`` — so sequential and fleet replay share every instruction
+    that matters for parity.  Events are always collected: the multisets
+    are what the fleet aggregation is checked against.
+    """
+    stream = ColumnarTrace.from_payload(job.payload)
+    prefix_column = array("I")
+    prefix_column.frombytes(job.rib_prefix)
+    path_column = array("I")
+    path_column.frombytes(job.rib_path)
+    rib = decode_rib(prefix_column, path_column, stream.pool)
+    return replay_stream(
+        stream,
+        rib,
+        peer_as=job.peer_as,
+        local_as=options.local_as,
+        swift_config=options.swift_config,
+        chunk_messages=options.chunk_messages,
+        swifted=options.swifted,
+        local_pref=options.local_pref,
+        backup_session=options.backup_session,
+        collect_events=True,
+    )
+
+
+@dataclass
+class FleetReplayResult:
+    """The aggregated outcome of one fleet replay.
+
+    ``sessions`` is ordered by peer AS regardless of worker completion
+    order, and every aggregate below is derived from canonical per-session
+    multisets — the whole result is a deterministic function of the corpus,
+    whether it was replayed by one process or sixteen.
+    """
+
+    workers: int
+    wall_seconds: float
+    sessions: List[MonthReplayResult] = field(default_factory=list)
+
+    @property
+    def session_count(self) -> int:
+        """Number of replayed sessions."""
+        return len(self.sessions)
+
+    @property
+    def message_count(self) -> int:
+        """Total messages replayed across the fleet."""
+        return sum(result.message_count for result in self.sessions)
+
+    @property
+    def losses(self) -> int:
+        """Total loss-of-reachability events across the fleet."""
+        return sum(result.losses for result in self.sessions)
+
+    @property
+    def recoveries(self) -> int:
+        """Total recovery events across the fleet."""
+        return sum(result.recoveries for result in self.sessions)
+
+    @property
+    def reroutes(self) -> int:
+        """Total reroute activations across the fleet."""
+        return sum(result.reroutes for result in self.sessions)
+
+    @property
+    def replay_seconds(self) -> float:
+        """Summed per-session replay time (the sequential-equivalent cost)."""
+        return sum(result.wall_seconds for result in self.sessions)
+
+    @property
+    def messages_per_second(self) -> float:
+        """Fleet throughput in messages per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.message_count / self.wall_seconds
+
+    def _merged(self, field_name: str) -> EventMultiset:
+        merged: Counter = Counter()
+        for result in self.sessions:
+            events = getattr(result, field_name)
+            if events:
+                merged.update(dict(events))
+        return tuple(sorted(merged.items()))
+
+    @property
+    def loss_events(self) -> EventMultiset:
+        """Fleet-wide loss multiset (canonical sorted form)."""
+        return self._merged("loss_events")
+
+    @property
+    def recovery_events(self) -> EventMultiset:
+        """Fleet-wide recovery multiset (canonical sorted form)."""
+        return self._merged("recovery_events")
+
+    @property
+    def reroute_events(self) -> EventMultiset:
+        """Fleet-wide reroute multiset (canonical sorted form)."""
+        return self._merged("reroute_events")
+
+    def signature(self) -> tuple:
+        """The deterministic content of the whole fleet run.
+
+        Byte-for-byte comparable (e.g. via ``pickle.dumps``) between a
+        process-pool run and a sequential run of the same corpus; excludes
+        wall-clock fields and the worker count.
+        """
+        return tuple(result.signature() for result in self.sessions)
+
+
+def iter_session_jobs(
+    config: Optional[SyntheticTraceConfig] = None,
+    peer_ases: Optional[Sequence[int]] = None,
+) -> Iterator[SessionJob]:
+    """Package a synthetic corpus into per-session jobs, lazily.
+
+    Streams come from :func:`cached_columnar_stream` (generated once,
+    mmap-reloaded afterwards); RIB snapshots are rebuilt deterministically
+    from the generator's topology and interned into each stream's pool.
+    Defaults to every peer of the configured fleet.  Yielding one job at a
+    time keeps the parent's footprint at O(in-flight sessions) — the pool
+    driver submits with a bounded backlog, so a 30-session month corpus
+    never has every session's buffers resident at once.
+    """
+    config = config or DEFAULT_REPLAY_CONFIG
+    generator_stream = SyntheticTraceGenerator(config).stream()
+    if peer_ases is None:
+        peer_ases = [peer.peer_as for peer in generator_stream.peers]
+    for peer_as in peer_ases:
+        stream = cached_columnar_stream(config, peer_as)
+        rib = generator_stream.rib_of(peer_as)
+        yield SessionJob.from_stream(peer_as, stream, rib)
+
+
+def build_session_jobs(
+    config: Optional[SyntheticTraceConfig] = None,
+    peer_ases: Optional[Sequence[int]] = None,
+) -> List[SessionJob]:
+    """Eager :func:`iter_session_jobs` for callers that reuse the job list."""
+    return list(iter_session_jobs(config, peer_ases=peer_ases))
+
+
+def replay_jobs(
+    jobs: Iterable[SessionJob],
+    workers: Optional[int] = None,
+    local_as: int = 1,
+    swifted: bool = True,
+    swift_config: Optional[SwiftConfig] = None,
+    chunk_messages: int = 50000,
+    local_pref: int = 100,
+    backup_session: bool = True,
+    mp_context: Optional[str] = None,
+) -> FleetReplayResult:
+    """Replay session jobs, one worker process per session.
+
+    ``jobs`` may be a lazy iterator (see :func:`iter_session_jobs`): the
+    pool driver keeps at most ``2 x workers`` jobs in flight, so the
+    corpus's buffers never all sit in the parent at once.  ``workers``
+    defaults to ``min(job count, cpu_count)`` for sequences and
+    ``cpu_count`` for iterators of unknown length; ``workers=1`` replays
+    inline through the same worker body, which is the sequential baseline
+    the parity tests compare against.  ``mp_context`` picks the
+    multiprocessing start method (``"fork"`` where available, else the
+    platform default).
+    """
+    options = _ReplayOptions(
+        local_as=local_as,
+        swifted=swifted,
+        swift_config=swift_config,
+        chunk_messages=chunk_messages,
+        local_pref=local_pref,
+        backup_session=backup_session,
+    )
+    job_count = len(jobs) if isinstance(jobs, Sequence) else None
+    if workers is None:
+        workers = os.cpu_count() or 1
+        if job_count is not None:
+            workers = min(workers, job_count)
+    workers = max(1, workers if job_count is None else min(workers, max(job_count, 1)))
+
+    begin = time.perf_counter()
+    if workers == 1:
+        results = [_replay_job(job, options) for job in jobs]
+    else:
+        results = _replay_in_pool(jobs, options, workers, mp_context)
+    wall_seconds = time.perf_counter() - begin
+
+    results.sort(key=lambda result: result.peer_as)
+    if len(results) <= 1:
+        workers = 1  # a lone job never left this process
+    return FleetReplayResult(
+        workers=workers, wall_seconds=wall_seconds, sessions=results
+    )
+
+
+def _replay_in_pool(
+    jobs: Iterable[SessionJob],
+    options: _ReplayOptions,
+    workers: int,
+    mp_context: Optional[str],
+) -> List[MonthReplayResult]:
+    """Fan jobs over a process pool with a bounded submission backlog."""
+    import multiprocessing
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+    if mp_context is None:
+        mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    context = multiprocessing.get_context(mp_context) if mp_context else None
+    backlog = workers * 2
+    results: List[MonthReplayResult] = []
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        pending = set()
+        for job in jobs:
+            if len(pending) >= backlog:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                results.extend(future.result() for future in done)
+            pending.add(pool.submit(_replay_job, job, options))
+        results.extend(future.result() for future in pending)
+    return results
+
+
+def replay_fleet(
+    config: Optional[SyntheticTraceConfig] = None,
+    peer_ases: Optional[Sequence[int]] = None,
+    workers: Optional[int] = None,
+    **replay_options,
+) -> FleetReplayResult:
+    """Replay every session of a (cached) synthetic corpus concurrently.
+
+    The month-replay driver scaled out: streams the per-session jobs from
+    :func:`iter_session_jobs` (bounded parent footprint) over
+    :func:`replay_jobs`.  Pass ``workers=1`` for the sequential baseline;
+    the default corpus is :data:`~repro.experiments.month_replay.DEFAULT_REPLAY_CONFIG`,
+    shared with the single-session driver.
+    """
+    config = config or DEFAULT_REPLAY_CONFIG
+    return replay_jobs(
+        iter_session_jobs(config, peer_ases=peer_ases),
+        workers=workers,
+        **replay_options,
+    )
+
+
+def format_fleet_result(result: FleetReplayResult) -> str:
+    """Render the fleet counters, one row per session plus totals."""
+    rows: List[Tuple] = [
+        (
+            session.peer_as,
+            session.message_count,
+            session.reroutes,
+            session.losses,
+            session.recoveries,
+            round(session.wall_seconds, 2),
+        )
+        for session in result.sessions
+    ]
+    rows.append(
+        (
+            "total",
+            result.message_count,
+            result.reroutes,
+            result.losses,
+            result.recoveries,
+            round(result.wall_seconds, 2),
+        )
+    )
+    return format_table(
+        ["session", "messages", "reroutes", "losses", "recoveries", "seconds"],
+        rows,
+        title=(
+            f"Fleet replay: {result.session_count} sessions, "
+            f"{result.workers} workers ({int(result.messages_per_second)} msg/s)"
+        ),
+    )

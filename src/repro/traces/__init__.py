@@ -43,6 +43,7 @@ from repro.traces.synthetic import (
     SyntheticTraceGenerator,
     SyntheticTraceStream,
     cached_columnar_stream,
+    cached_columnar_stream_file,
     cached_trace,
 )
 
@@ -73,6 +74,7 @@ __all__ = [
     "TraceWriter",
     "build_collector_fleet",
     "cached_columnar_stream",
+    "cached_columnar_stream_file",
     "cached_trace",
     "decode_rib",
     "encode_rib",

@@ -37,8 +37,10 @@ Consumers have three access grains:
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_left
 from collections.abc import Sequence as SequenceABC
 from typing import (
+    Any,
     Dict,
     Iterable,
     Iterator,
@@ -63,6 +65,8 @@ from repro.bgp.prefix import Prefix
 
 __all__ = [
     "COLUMNAR_FORMAT_VERSION",
+    "POOL_COLUMNS",
+    "TRACE_COLUMNS",
     "ColumnarMessageView",
     "ColumnarRun",
     "ColumnarTrace",
@@ -74,6 +78,36 @@ __all__ = [
 #: Bump whenever the column schema changes; embedded in every pickled blob
 #: and checked on restore, so an old blob can never be half-loaded.
 COLUMNAR_FORMAT_VERSION = 1
+
+#: The (name, typecode) schema of the interning-table columns, in payload
+#: order.  Shared by the pickle path, the raw-buffer payloads and the
+#: mmap-backed column store so the three on-disk forms can never drift.
+POOL_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("prefix_net", "I"),
+    ("prefix_len", "B"),
+    ("path_asns", "I"),
+    ("path_bounds", "I"),
+    ("comm_packed", "I"),
+    ("comm_bounds", "I"),
+    ("attr_path", "I"),
+    ("attr_next_hop", "q"),
+    ("attr_local_pref", "q"),
+    ("attr_med", "q"),
+    ("attr_origin", "B"),
+    ("attr_comms", "I"),
+)
+
+#: The (name, typecode) schema of the per-message stream columns.
+TRACE_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("msg_time", "d"),
+    ("msg_peer", "q"),
+    ("msg_kind", "B"),
+    ("wd_end", "I"),
+    ("ann_end", "I"),
+    ("wd_prefix", "I"),
+    ("ann_prefix", "I"),
+    ("ann_attr", "I"),
+)
 
 # Message kind bytes (column ``msg_kind``).
 KIND_UPDATE = 0
@@ -110,6 +144,14 @@ def _make_update(
     fields["announcements"] = announcements
     fields["withdrawals"] = withdrawals
     return update
+
+
+def _rebased(column: array, base: int) -> array:
+    """Shift a sliced cumulative-bound column back to a zero origin."""
+    if base:
+        for index in range(len(column)):
+            column[index] -= base
+    return column
 
 
 class InternPool:
@@ -362,6 +404,33 @@ class InternPool:
             self._comm_ids[tuple(self.comm_packed[start:stop])] = index
         for index in range(len(self.attr_path)):
             self._attr_ids[self.attributes_at(index)] = index
+
+    # -- raw-buffer payloads ------------------------------------------------
+
+    def to_payload(self) -> Dict[str, bytes]:
+        """Export the tables as a flat name -> raw ``bytes`` mapping.
+
+        The payload contains no Python object graph — only the column
+        buffers — so it ships across process boundaries (or into the mmap
+        column store) at memcpy cost.  Restore with :meth:`from_payload`.
+        """
+        return {name: getattr(self, name).tobytes() for name, _ in POOL_COLUMNS}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, bytes]) -> "InternPool":
+        """Rebuild a pool from :meth:`to_payload` buffers (lazy decoding)."""
+        pool = _object_new(cls)
+        for name, typecode in POOL_COLUMNS:
+            column = array(typecode)
+            column.frombytes(payload[name])
+            setattr(pool, name, column)
+        pool._init_transients()
+        pool._maps_stale = True
+        pool._prefix_cache = [None] * len(pool.prefix_net)
+        pool._path_cache = [None] * (len(pool.path_bounds) - 1)
+        pool._comm_cache = [None] * (len(pool.comm_bounds) - 1)
+        pool._attr_cache = [None] * len(pool.attr_path)
+        return pool
 
 
 class ColumnarTrace:
@@ -643,6 +712,99 @@ class ColumnarTrace:
             self.extras,
         ) = state
         self._announcement_cache = {}
+
+    # -- raw-buffer payloads ------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Export the trace as plain buffers — no object-graph pickling.
+
+        The returned mapping holds only primitives: the format version, one
+        raw ``bytes`` buffer per message column, the pool's buffers (nested
+        under ``"pool"``) and the tiny ``extras`` dict of non-UPDATE
+        payloads.  Pickling the payload is a handful of memcpys, which is
+        what makes it the fleet-replay transport: a worker process receives
+        the buffers and rebuilds the trace with :meth:`from_payload` without
+        ever deserialising a message object graph.
+        """
+        payload: Dict[str, Any] = {
+            "format": COLUMNAR_FORMAT_VERSION,
+            "pool": self.pool.to_payload(),
+            "extras": dict(self.extras),
+        }
+        for name, _ in TRACE_COLUMNS:
+            payload[name] = getattr(self, name).tobytes()
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ColumnarTrace":
+        """Rebuild a trace from :meth:`to_payload` buffers."""
+        version = payload.get("format")
+        if version != COLUMNAR_FORMAT_VERSION:
+            raise ValueError(
+                f"columnar format v{version} payload, running code expects "
+                f"v{COLUMNAR_FORMAT_VERSION}"
+            )
+        trace = _object_new(cls)
+        trace.pool = InternPool.from_payload(payload["pool"])
+        for name, typecode in TRACE_COLUMNS:
+            column = array(typecode)
+            column.frombytes(payload[name])
+            setattr(trace, name, column)
+        trace.extras = dict(payload.get("extras") or {})
+        trace._announcement_cache = {}
+        return trace
+
+    # -- windows -------------------------------------------------------------
+
+    @property
+    def first_timestamp(self) -> Optional[float]:
+        """Timestamp of the first message, or ``None`` for an empty trace."""
+        return self.msg_time[0] if len(self.msg_time) else None
+
+    @property
+    def last_timestamp(self) -> Optional[float]:
+        """Timestamp of the last message, or ``None`` for an empty trace."""
+        return self.msg_time[-1] if len(self.msg_time) else None
+
+    def window(self, t0: float, t1: float) -> "ColumnarTrace":
+        """The sub-trace with ``t0 <= timestamp < t1``, sharing the pool.
+
+        Message timestamps are non-decreasing in every generated/parsed
+        trace, so the window bounds come from a bisect on the timestamp
+        column; the result is a standalone trace (its own rebased bound
+        columns over sliced per-prefix columns) that replays through
+        :meth:`iter_batches` like any other.
+        """
+        start = bisect_left(self.msg_time, t0)
+        stop = bisect_left(self.msg_time, t1)
+        return self.slice(start, stop)
+
+    def slice(self, start: int, stop: int) -> "ColumnarTrace":
+        """The sub-trace over the message index window [start, stop)."""
+        total = len(self.msg_time)
+        start = max(0, min(start, total))
+        stop = max(start, min(stop, total))
+        w_low = self.wd_end[start - 1] if start else 0
+        a_low = self.ann_end[start - 1] if start else 0
+        w_high = self.wd_end[stop - 1] if stop else 0
+        a_high = self.ann_end[stop - 1] if stop else 0
+        trace = _object_new(type(self))
+        trace.pool = self.pool
+        trace.msg_time = self.msg_time[start:stop]
+        trace.msg_peer = self.msg_peer[start:stop]
+        trace.msg_kind = self.msg_kind[start:stop]
+        trace.wd_end = _rebased(self.wd_end[start:stop], w_low)
+        trace.ann_end = _rebased(self.ann_end[start:stop], a_low)
+        trace.wd_prefix = self.wd_prefix[w_low:w_high]
+        trace.ann_prefix = self.ann_prefix[a_low:a_high]
+        trace.ann_attr = self.ann_attr[a_low:a_high]
+        trace.extras = {
+            index - start: extra
+            for index, extra in self.extras.items()
+            if start <= index < stop
+        }
+        trace._announcement_cache = {}
+        return trace
 
 
 class ColumnarMessageView(SequenceABC):

@@ -1,0 +1,267 @@
+"""mmap-backed on-disk layout for columnar traces.
+
+The trace cache's pickled columnar blobs already restore at array speed, but
+a pickle is all-or-nothing: loading one month trace reads (and memcpys)
+every column, even when the consumer only wants a time window.  This module
+stores a :class:`~repro.traces.columnar.ColumnarTrace` as::
+
+    magic | u32 store version | u64 header length | pickled header | segments
+
+where the header is a small dict — columnar format version, the ``extras``
+dict, and one ``(name, typecode, offset, nbytes)`` descriptor per column —
+and the segments are the raw column buffers back to back.  Reload is
+``mmap`` + :meth:`array.array.frombytes` per column, *on demand*:
+
+* :meth:`ColumnarTraceFile.load` materialises every column (a full trace,
+  equivalent to unpickling the blob but without the pickle layer);
+* :meth:`ColumnarTraceFile.window` bisects the timestamp column through a
+  lazy mmap view (touching O(log n) elements, not the whole segment) and
+  then copies only the window's byte ranges out of each column — a partial
+  load of a month trace that never reads the tail of the file;
+* :attr:`ColumnarTraceFile.bytes_read` counts the segment bytes actually
+  materialised, which is how the tests and benchmarks assert that a window
+  load reads less than the full blob.
+
+Buffers are written in native byte order, like the pickled ``array`` blobs
+they replace; the store is a cache format for the machine that wrote it,
+not an interchange format.  The columnar format version is checked on open,
+so a stale file raises (and the cache layer treats that as a miss).
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import pickle
+import struct
+from array import array
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+from repro.traces.columnar import (
+    COLUMNAR_FORMAT_VERSION,
+    POOL_COLUMNS,
+    TRACE_COLUMNS,
+    ColumnarTrace,
+    InternPool,
+    _rebased,
+)
+
+__all__ = ["STORE_VERSION", "ColumnarTraceFile", "read_trace", "write_trace"]
+
+_MAGIC = b"RPROCOLS"
+#: Bump when the container layout (not the column schema) changes.
+STORE_VERSION = 1
+
+_LENGTHS = struct.Struct("<IQ")  # store version, header length
+
+
+def write_trace(path: str, trace: ColumnarTrace) -> None:
+    """Write a trace in the column-store layout (header + raw segments).
+
+    The caller owns atomicity (the trace cache writes to a temp file and
+    renames); this function just streams the buffers, so writing never holds
+    a second copy of the columns.
+    """
+    payload = trace.to_payload()
+    segments: List[Tuple[str, str, int, int]] = []
+    buffers: List[bytes] = []
+    offset = 0
+    for name, typecode in POOL_COLUMNS:
+        buffer = payload["pool"][name]
+        segments.append((f"pool.{name}", typecode, offset, len(buffer)))
+        buffers.append(buffer)
+        offset += len(buffer)
+    for name, typecode in TRACE_COLUMNS:
+        buffer = payload[name]
+        segments.append((name, typecode, offset, len(buffer)))
+        buffers.append(buffer)
+        offset += len(buffer)
+    header = pickle.dumps(
+        {
+            "format": COLUMNAR_FORMAT_VERSION,
+            "extras": payload["extras"],
+            "segments": segments,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(_LENGTHS.pack(STORE_VERSION, len(header)))
+        handle.write(header)
+        for buffer in buffers:
+            handle.write(buffer)
+
+
+class _LazyColumn:
+    """A read-only sequence view of one on-disk column segment.
+
+    Indexing unpacks a single element straight from the mmap, so a bisect
+    over a month-long timestamp column touches O(log n) pages instead of
+    materialising the segment.
+    """
+
+    __slots__ = ("_mm", "_offset", "_item", "_length")
+
+    def __init__(self, mm: mmap.mmap, offset: int, typecode: str, nbytes: int) -> None:
+        self._mm = mm
+        self._offset = offset
+        self._item = struct.Struct("=" + typecode)
+        self._length = nbytes // self._item.size
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: int):
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(index)
+        return self._item.unpack_from(self._mm, self._offset + index * self._item.size)[0]
+
+
+class ColumnarTraceFile:
+    """An open column-store file; loads columns (or windows of them) lazily."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = open(path, "rb")
+        try:
+            prefix = self._handle.read(len(_MAGIC) + _LENGTHS.size)
+            if prefix[: len(_MAGIC)] != _MAGIC:
+                raise ValueError(f"{path}: not a columnar store file")
+            store_version, header_length = _LENGTHS.unpack(prefix[len(_MAGIC) :])
+            if store_version != STORE_VERSION:
+                raise ValueError(
+                    f"{path}: store layout v{store_version}, running code "
+                    f"expects v{STORE_VERSION}"
+                )
+            header = pickle.loads(self._handle.read(header_length))
+            if header["format"] != COLUMNAR_FORMAT_VERSION:
+                raise ValueError(
+                    f"{path}: columnar format v{header['format']}, running "
+                    f"code expects v{COLUMNAR_FORMAT_VERSION}"
+                )
+            self._extras: Dict[int, tuple] = header["extras"]
+            self._base = len(_MAGIC) + _LENGTHS.size + header_length
+            self._segments: Dict[str, Tuple[str, int, int]] = {
+                name: (typecode, offset, nbytes)
+                for name, typecode, offset, nbytes in header["segments"]
+            }
+            self._mm = mmap.mmap(self._handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except Exception:
+            self._handle.close()
+            raise
+        #: Segment bytes materialised so far (full or partial column copies).
+        self.bytes_read = 0
+        self._pool: Optional[InternPool] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the mapping and the file handle."""
+        self._mm.close()
+        self._handle.close()
+
+    def __enter__(self) -> "ColumnarTraceFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def file_size(self) -> int:
+        """Total size of the store file in bytes."""
+        return len(self._mm)
+
+    @property
+    def message_count(self) -> int:
+        """Number of messages in the stored trace (no column materialised)."""
+        typecode, _, nbytes = self._segments["msg_time"]
+        return nbytes // array(typecode).itemsize
+
+    # -- column access ------------------------------------------------------
+
+    def _column(self, name: str, low: int = 0, high: Optional[int] = None) -> array:
+        """Materialise the element range [low, high) of one column."""
+        typecode, offset, nbytes = self._segments[name]
+        column = array(typecode)
+        itemsize = column.itemsize
+        start = offset + low * itemsize
+        stop = offset + nbytes if high is None else offset + high * itemsize
+        stop = min(stop, offset + nbytes)
+        start = min(start, stop)
+        buffer = self._mm[self._base + start : self._base + stop]
+        self.bytes_read += len(buffer)
+        column.frombytes(buffer)
+        return column
+
+    def _lazy_column(self, name: str) -> _LazyColumn:
+        typecode, offset, nbytes = self._segments[name]
+        return _LazyColumn(self._mm, self._base + offset, typecode, nbytes)
+
+    def pool(self) -> InternPool:
+        """The interning tables (materialised once; small next to the stream)."""
+        if self._pool is None:
+            self._pool = InternPool.from_payload(
+                {name: self._column(f"pool.{name}").tobytes() for name, _ in POOL_COLUMNS}
+            )
+        return self._pool
+
+    # -- loads --------------------------------------------------------------
+
+    def load(self) -> ColumnarTrace:
+        """Materialise the full trace (every column, one memcpy each)."""
+        trace = ColumnarTrace.__new__(ColumnarTrace)
+        trace.pool = self.pool()
+        for name, _ in TRACE_COLUMNS:
+            setattr(trace, name, self._column(name))
+        trace.extras = dict(self._extras)
+        trace._announcement_cache = {}
+        return trace
+
+    def window(self, t0: float, t1: float) -> ColumnarTrace:
+        """Load only the messages with ``t0 <= timestamp < t1``.
+
+        The bisect runs over a lazy mmap view of the timestamp column, so
+        locating the window reads O(log n) elements; materialisation then
+        copies just the window's byte ranges out of each column (plus the
+        interning tables, which every load shares).
+        """
+        times = self._lazy_column("msg_time")
+        return self.slice(bisect_left(times, t0), bisect_left(times, t1))
+
+    def slice(self, start: int, stop: int) -> ColumnarTrace:
+        """Load the sub-trace over the message index window [start, stop)."""
+        total = self.message_count
+        start = max(0, min(start, total))
+        stop = max(start, min(stop, total))
+        wd_end = self._lazy_column("wd_end")
+        ann_end = self._lazy_column("ann_end")
+        w_low = wd_end[start - 1] if start else 0
+        a_low = ann_end[start - 1] if start else 0
+        w_high = wd_end[stop - 1] if stop else 0
+        a_high = ann_end[stop - 1] if stop else 0
+        trace = ColumnarTrace.__new__(ColumnarTrace)
+        trace.pool = self.pool()
+        trace.msg_time = self._column("msg_time", start, stop)
+        trace.msg_peer = self._column("msg_peer", start, stop)
+        trace.msg_kind = self._column("msg_kind", start, stop)
+        trace.wd_end = _rebased(self._column("wd_end", start, stop), w_low)
+        trace.ann_end = _rebased(self._column("ann_end", start, stop), a_low)
+        trace.wd_prefix = self._column("wd_prefix", w_low, w_high)
+        trace.ann_prefix = self._column("ann_prefix", a_low, a_high)
+        trace.ann_attr = self._column("ann_attr", a_low, a_high)
+        trace.extras = {
+            index - start: extra
+            for index, extra in self._extras.items()
+            if start <= index < stop
+        }
+        trace._announcement_cache = {}
+        return trace
+
+
+def read_trace(path: str) -> ColumnarTrace:
+    """Convenience: open, fully load and close a store file."""
+    with ColumnarTraceFile(path) as store:
+        return store.load()

@@ -62,6 +62,7 @@ __all__ = [
     "SyntheticTraceGenerator",
     "SyntheticTraceStream",
     "cached_columnar_stream",
+    "cached_columnar_stream_file",
     "cached_trace",
 ]
 
@@ -796,15 +797,35 @@ def cached_columnar_stream(
 ) -> ColumnarTrace:
     """The full columnar message stream of one session, memoised on disk.
 
-    The natural input of the month-replay drivers: a
-    :class:`~repro.traces.columnar.ColumnarTrace` is its own cache payload
-    (its pickle is the columnar blob), so reloads are array restores and
-    replay consumes :meth:`~repro.traces.columnar.ColumnarTrace.iter_batches`
-    without ever materialising the object stream.
+    The natural input of the month-replay drivers.  Entries live in the
+    mmap-backed column-store layout (header + raw column segments, see
+    :mod:`repro.traces.columnar_store`), so a reload is ``mmap`` plus one
+    ``frombytes`` per column and replay consumes
+    :meth:`~repro.traces.columnar.ColumnarTrace.iter_batches` without ever
+    materialising the object stream.  For partial (time-window) loads of
+    the same entry, use :func:`cached_columnar_stream_file`.
     """
-    from repro.traces.trace_cache import fingerprint, load_or_build
+    from repro.traces.trace_cache import fingerprint, load_or_build_columnar
 
-    return load_or_build(
+    return load_or_build_columnar(
+        "stream",
+        f"{fingerprint(config)}|peer={peer_as}",
+        lambda: SyntheticTraceGenerator(config).stream().columnar_messages(peer_as),
+        format_version=COLUMNAR_FORMAT_VERSION,
+    )
+
+
+def cached_columnar_stream_file(config: SyntheticTraceConfig, peer_as: int):
+    """Open one session's cached stream for on-demand (windowed) loads.
+
+    Returns a :class:`~repro.traces.columnar_store.ColumnarTraceFile` —
+    ``window(t0, t1)`` loads a time slice of the month without reading the
+    rest of the file — or ``None`` when caching is disabled; the entry is
+    generated and persisted first if missing.
+    """
+    from repro.traces.trace_cache import fingerprint, open_columnar
+
+    return open_columnar(
         "stream",
         f"{fingerprint(config)}|peer={peer_as}",
         lambda: SyntheticTraceGenerator(config).stream().columnar_messages(peer_as),

@@ -21,10 +21,14 @@ Cache keys are *hardened* on two axes:
 
 Values may be persisted through an ``encode``/``decode`` pair — this is how
 trace payloads are stored as columnar array blobs
-(:mod:`repro.traces.columnar`) instead of pickled object graphs.  As a last
-line of defence, columnar blobs embed their own format version and refuse
-to restore across versions; the resulting exception is treated as a miss,
-so a stale entry can never be half-loaded.
+(:mod:`repro.traces.columnar`) instead of pickled object graphs.  Plain
+:class:`~repro.traces.columnar.ColumnarTrace` values go further:
+:func:`load_or_build_columnar` stores them in the mmap-backed column-store
+layout (``.cols``, see :mod:`repro.traces.columnar_store`) and
+:func:`open_columnar` serves partial time-window loads straight off that
+file.  As a last line of defence, columnar blobs embed their own format
+version and refuse to restore across versions; the resulting exception is
+treated as a miss, so a stale entry can never be half-loaded.
 
 The cache lives in ``.trace_cache/`` at the repository root by default;
 set ``REPRO_TRACE_CACHE`` to relocate it or ``REPRO_TRACE_CACHE=off`` to
@@ -35,10 +39,13 @@ Corrupt or unreadable cache files are treated as misses and rebuilt.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import hashlib
 import os
 import pickle
+import re
 import tempfile
+import time
 from typing import Any, Callable, Optional
 
 __all__ = [
@@ -46,6 +53,8 @@ __all__ = [
     "clear_cache",
     "fingerprint",
     "load_or_build",
+    "load_or_build_columnar",
+    "open_columnar",
 ]
 
 #: Bump when the generators' output for a given configuration changes, so
@@ -72,13 +81,27 @@ def _cache_dir() -> Optional[str]:
     return _default_cache_dir()
 
 
+#: Scalar types whose ``repr`` is deterministic by construction; anything
+#: else falling through to the ``repr`` branch is screened for
+#: memory-address markers first.
+_SCALAR_TYPES = (type(None), bool, int, float, complex, str, bytes, bytearray)
+
+#: The ``<module.Class object at 0x7f...>`` marker of reprs that embed the
+#: instance's memory address — a different string every process.
+_ADDRESS_REPR = re.compile(r" at 0x[0-9a-fA-F]+")
+
+
 def fingerprint(value: Any) -> str:
     """Deterministic, default-inclusive description of a configuration.
 
     Dataclasses render with *every* field (sorted by name), so defaulted
     parameters participate in the cache key; mappings and sets render with
-    sorted keys/members.  Anything else falls back to ``repr``, which is
-    deterministic for the value types configurations are built from.
+    sorted keys/members (ordered by their *fingerprints*, so mixed-type
+    keys never hit an unorderable ``sorted``).  Anything else falls back to
+    ``repr`` — but a repr embedding the object's memory address (the
+    ``object.__repr__`` default) raises :class:`TypeError` instead of
+    silently minting a fresh cache key every process, which would turn the
+    cache into a permanent miss that regenerates minutes-long traces.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         fields = ",".join(
@@ -88,7 +111,11 @@ def fingerprint(value: Any) -> str:
         return f"{type(value).__name__}({fields})"
     if isinstance(value, dict):
         items = ",".join(
-            f"{fingerprint(key)}:{fingerprint(value[key])}" for key in sorted(value)
+            f"{key_print}:{fingerprint(item)}"
+            for key_print, item in sorted(
+                ((fingerprint(key), item) for key, item in value.items()),
+                key=lambda pair: pair[0],
+            )
         )
         return f"{{{items}}}"
     if isinstance(value, (set, frozenset)):
@@ -96,11 +123,21 @@ def fingerprint(value: Any) -> str:
     if isinstance(value, (list, tuple)):
         body = ",".join(fingerprint(item) for item in value)
         return f"[{body}]" if isinstance(value, list) else f"({body})"
-    return repr(value)
+    if isinstance(value, _SCALAR_TYPES) or isinstance(value, enum.Enum):
+        return repr(value)
+    rendered = repr(value)
+    if _ADDRESS_REPR.search(rendered):
+        raise TypeError(
+            f"cannot fingerprint {type(value).__name__}: its repr embeds a "
+            f"memory address ({rendered!r}), which would change every "
+            f"process and permanently miss the cache; give the type a "
+            f"deterministic __repr__ or make it a dataclass"
+        )
+    return rendered
 
 
 def cache_path_for(
-    kind: str, spec: str, format_version: Optional[int] = None
+    kind: str, spec: str, format_version: Optional[int] = None, suffix: str = ".pkl"
 ) -> Optional[str]:
     """The cache file a (kind, spec) pair would use, or ``None`` if disabled.
 
@@ -109,7 +146,9 @@ def cache_path_for(
     over a bare ``repr``, so defaulted parameters are part of the key.
     ``format_version`` is the caller's on-disk format version (e.g.
     :data:`repro.traces.columnar.COLUMNAR_FORMAT_VERSION`); bumping either
-    version changes the key, so pre-bump entries miss cleanly.
+    version changes the key, so pre-bump entries miss cleanly.  ``suffix``
+    selects the storage layout: ``.pkl`` for pickled payloads, ``.cols``
+    for the mmap-backed column store.
     """
     directory = _cache_dir()
     if directory is None:
@@ -117,7 +156,64 @@ def cache_path_for(
     digest = hashlib.sha256(
         f"v{CACHE_VERSION}|f{format_version}|{kind}|{spec}".encode("utf-8")
     ).hexdigest()[:24]
-    return os.path.join(directory, f"{kind}-{digest}.pkl")
+    return os.path.join(directory, f"{kind}-{digest}{suffix}")
+
+
+#: Orphan ``.tmp`` files older than this are swept opportunistically; young
+#: ones are left alone — they may belong to a live concurrent writer.
+_STALE_TMP_SECONDS = 3600.0
+
+
+def _sweep_stale_tmp(directory: str, max_age_seconds: float = _STALE_TMP_SECONDS) -> int:
+    """Remove orphaned temp files an interrupted writer left behind.
+
+    Called from the write path of :func:`load_or_build` (and friends) and
+    from :func:`clear_cache`, so a crash mid-write can no longer accumulate
+    ``.tmp`` litter forever.  Returns the number of files removed; never
+    raises — sweeping is best-effort by design.
+    """
+    removed = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    horizon = time.time() - max_age_seconds
+    for name in names:
+        if not name.endswith(".tmp"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            if max_age_seconds <= 0 or os.path.getmtime(path) < horizon:
+                os.unlink(path)
+                removed += 1
+        except OSError:
+            continue
+    return removed
+
+
+def _write_atomic(path: str, writer: Callable[[str], None]) -> None:
+    """Write a cache entry via temp file + rename, cleaning up on failure.
+
+    ``writer(temp_path)`` produces the file contents.  The temp file is
+    removed in a ``finally`` block (surviving even :class:`KeyboardInterrupt`
+    during the write), so an interrupted writer cannot orphan it; if the
+    unlink itself fails, the stale-tmp sweep on a later write or
+    :func:`clear_cache` picks the file up.
+    """
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    _sweep_stale_tmp(directory)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    os.close(fd)
+    try:
+        writer(temp_path)
+        os.replace(temp_path, path)
+    finally:
+        if os.path.exists(temp_path):
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass  # the stale-tmp sweep will reclaim it
 
 
 def load_or_build(
@@ -152,20 +248,97 @@ def load_or_build(
     if path is not None:
         try:
             payload = encode(value) if encode is not None else value
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            fd, temp_path = tempfile.mkstemp(
-                dir=os.path.dirname(path), suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as handle:
+
+            def write(temp_path: str) -> None:
+                with open(temp_path, "wb") as handle:
                     pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(temp_path, path)
-            except Exception:
-                os.unlink(temp_path)
-                raise
+
+            _write_atomic(path, write)
         except Exception:
             pass  # read-only filesystem etc.: caching is best-effort
     return value
+
+
+def load_or_build_columnar(
+    kind: str,
+    spec: str,
+    builder: Callable[[], Any],
+    format_version: Optional[int] = None,
+) -> Any:
+    """Memoise a :class:`~repro.traces.columnar.ColumnarTrace` on disk.
+
+    Like :func:`load_or_build`, but the entry is stored in the mmap-backed
+    column-store layout (``.cols``: header + raw column segments, see
+    :mod:`repro.traces.columnar_store`) instead of a pickle, so a hit is
+    ``mmap`` + per-column ``frombytes`` and :func:`open_columnar` can serve
+    partial time-window loads of the same entry without reading the whole
+    file.
+    """
+    from repro.traces import columnar_store
+
+    path = cache_path_for(kind, spec, format_version=format_version, suffix=".cols")
+    if path is not None and os.path.exists(path):
+        try:
+            return columnar_store.read_trace(path)
+        except Exception:
+            pass  # corrupt / stale-format entry: rebuild below
+    value = builder()
+    if path is not None:
+        try:
+            _write_atomic(path, lambda temp: columnar_store.write_trace(temp, value))
+        except Exception:
+            pass  # read-only filesystem etc.: caching is best-effort
+    return value
+
+
+def open_columnar(
+    kind: str,
+    spec: str,
+    builder: Callable[[], Any],
+    format_version: Optional[int] = None,
+):
+    """Open a column-store cache entry for on-demand (windowed) loads.
+
+    Returns a :class:`~repro.traces.columnar_store.ColumnarTraceFile` whose
+    :meth:`~repro.traces.columnar_store.ColumnarTraceFile.window` /
+    :meth:`~repro.traces.columnar_store.ColumnarTraceFile.load` read only
+    the byte ranges they need, or ``None`` when caching is disabled or the
+    cache directory is unwritable (the caller falls back to ``builder()``
+    in memory).  Writability is probed *before* building, so a minutes-long
+    generation is never spent on a value that could not be persisted.  A
+    missing or stale entry is built and persisted first, exactly as in
+    :func:`load_or_build_columnar`.
+    """
+    from repro.traces import columnar_store
+
+    path = cache_path_for(kind, spec, format_version=format_version, suffix=".cols")
+    if path is None:
+        return None
+    if os.path.exists(path):
+        try:
+            return columnar_store.ColumnarTraceFile(path)
+        except Exception:
+            pass  # corrupt / stale-format entry: rebuild below
+    if not _directory_writable(os.path.dirname(path)):
+        return None
+    value = builder()
+    try:
+        _write_atomic(path, lambda temp: columnar_store.write_trace(temp, value))
+        return columnar_store.ColumnarTraceFile(path)
+    except Exception:
+        return None  # the filesystem turned read-only mid-build etc.
+
+
+def _directory_writable(directory: str) -> bool:
+    """Probe whether a cache directory can take a new entry."""
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, probe = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        os.close(fd)
+        os.unlink(probe)
+        return True
+    except OSError:
+        return False
 
 
 def clear_cache() -> int:
@@ -175,7 +348,7 @@ def clear_cache() -> int:
         return 0
     removed = 0
     for name in os.listdir(directory):
-        if name.endswith(".pkl") or name.endswith(".tmp"):
+        if name.endswith((".pkl", ".cols", ".tmp")):
             try:
                 os.unlink(os.path.join(directory, name))
                 removed += 1

@@ -1,0 +1,251 @@
+"""Raw-buffer payloads, time windows and the mmap column store.
+
+The contracts under test:
+
+* ``to_payload()`` exports nothing but primitives (``bytes`` buffers,
+  the format version, the tiny extras dict) and ``from_payload()`` rebuilds
+  an identical trace — the fleet driver's inter-process transport;
+* ``window(t0, t1)`` / ``slice(start, stop)`` produce standalone traces
+  (rebased bound columns, shared pool) equal to filtering the message
+  stream by timestamp;
+* the column store writes header + raw segments, reloads via mmap +
+  ``frombytes``, serves identical full loads and windows — and a window
+  load materialises strictly fewer bytes than the file holds;
+* the trace cache's ``.cols`` layout round-trips through
+  ``load_or_build_columnar`` / ``open_columnar`` and rebuilds cleanly from
+  a corrupt entry.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.bgp.attributes import ASPath, Community, Origin, PathAttributes
+from repro.bgp.messages import KeepAlive, Notification, OpenMessage, Update
+from repro.bgp.prefix import prefix_block
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.columnar_store import ColumnarTraceFile, read_trace, write_trace
+from repro.traces.trace_cache import load_or_build_columnar, open_columnar
+from repro.traces.synthetic import (
+    SyntheticTraceConfig,
+    SyntheticTraceGenerator,
+    cached_columnar_stream,
+    cached_columnar_stream_file,
+)
+
+
+def _stream_messages():
+    """A two-peer stream covering every message kind and update shape."""
+    p = prefix_block("10.0.0.0/24", 40)
+    rich = PathAttributes(
+        as_path=ASPath([2, 5, 6]),
+        next_hop=2,
+        local_pref=250,
+        med=17,
+        origin=Origin.INCOMPLETE,
+        communities=frozenset({Community(2, 100), Community(2, 200)}),
+    )
+    messages = [OpenMessage(0.0, 2, hold_time=30.0)]
+    for index in range(120):
+        timestamp = 1.0 + index * 0.5
+        peer = 2 if index % 3 else 3
+        if index % 4 == 0:
+            messages.append(Update.withdraw(timestamp, peer, p[index % 40]))
+        elif index % 7 == 0:
+            messages.append(
+                Update(
+                    timestamp=timestamp,
+                    peer_as=peer,
+                    announcements=(),
+                    withdrawals=(p[index % 40], p[(index + 1) % 40]),
+                )
+            )
+        else:
+            attrs = rich if index % 2 else PathAttributes(
+                as_path=ASPath([peer, 7, 6]), next_hop=peer
+            )
+            messages.append(Update.announce(timestamp, peer, p[index % 40], attrs))
+    messages.append(KeepAlive(70.0, 2))
+    messages.append(
+        Notification(71.0, 3, error_code=6, error_subcode=1, reason="shutdown")
+    )
+    return messages
+
+
+@pytest.fixture(scope="module")
+def messages():
+    return _stream_messages()
+
+
+@pytest.fixture(scope="module")
+def trace(messages):
+    return ColumnarTrace.from_messages(messages)
+
+
+class TestPayloads:
+    def test_round_trip_is_identity(self, trace, messages):
+        assert ColumnarTrace.from_payload(trace.to_payload()).to_messages() == messages
+
+    def test_payload_holds_only_primitives(self, trace):
+        payload = trace.to_payload()
+        assert isinstance(payload["format"], int)
+        assert all(isinstance(buf, bytes) for buf in payload["pool"].values())
+        for name in (
+            "msg_time", "msg_peer", "msg_kind", "wd_end", "ann_end",
+            "wd_prefix", "ann_prefix", "ann_attr",
+        ):
+            assert isinstance(payload[name], bytes), name
+
+    def test_payload_pickle_carries_no_message_objects(self, trace):
+        # The transport property: pickling a payload never walks an object
+        # graph, so no repro class name appears in the pickle stream.
+        flat = pickle.dumps(trace.to_payload(), protocol=pickle.HIGHEST_PROTOCOL)
+        assert b"repro.bgp" not in flat
+
+    def test_version_mismatch_refuses_to_restore(self, trace):
+        payload = trace.to_payload()
+        payload["format"] = 999
+        with pytest.raises(ValueError, match="v999"):
+            ColumnarTrace.from_payload(payload)
+
+    def test_restored_trace_interns_further_appends(self, trace, messages):
+        restored = ColumnarTrace.from_payload(trace.to_payload())
+        before = restored.pool.prefix_count
+        restored.append(messages[1])  # announcement of an already-interned prefix
+        assert restored.pool.prefix_count == before
+
+
+class TestWindows:
+    @pytest.mark.parametrize("bounds", [(10.0, 30.0), (0.0, 1.0), (60.0, 200.0)])
+    def test_window_matches_timestamp_filter(self, trace, messages, bounds):
+        t0, t1 = bounds
+        expected = [m for m in messages if t0 <= m.timestamp < t1]
+        window = trace.window(t0, t1)
+        assert window.to_messages() == expected
+        assert window.message_count == len(expected)
+
+    def test_window_is_replayable_standalone(self, trace):
+        window = trace.window(10.0, 30.0)
+        runs = list(window.iter_batches())
+        assert sum(len(run) for run in runs) == window.message_count
+        assert window.withdrawal_total == sum(run.withdrawal_count() for run in runs)
+
+    def test_window_shares_the_pool(self, trace):
+        assert trace.window(10.0, 30.0).pool is trace.pool
+
+    def test_empty_and_full_windows(self, trace, messages):
+        assert trace.window(1000.0, 2000.0).to_messages() == []
+        assert trace.window(0.0, 1e9).to_messages() == messages
+
+    def test_slice_clamps_out_of_range_indices(self, trace, messages):
+        assert trace.slice(-5, 10 ** 9).to_messages() == messages
+
+    def test_window_keeps_extras(self, trace):
+        tail = trace.window(69.0, 100.0)
+        kinds = [type(m).__name__ for m in tail.to_messages()]
+        assert kinds == ["KeepAlive", "Notification"]
+        notification = tail.to_messages()[-1]
+        assert notification.reason == "shutdown"
+
+
+class TestColumnStore:
+    def test_full_load_round_trips(self, tmp_path, trace, messages):
+        path = str(tmp_path / "trace.cols")
+        write_trace(path, trace)
+        assert read_trace(path).to_messages() == messages
+
+    def test_window_load_matches_in_memory_window(self, tmp_path, trace):
+        path = str(tmp_path / "trace.cols")
+        write_trace(path, trace)
+        with ColumnarTraceFile(path) as store:
+            loaded = store.window(10.0, 30.0)
+            assert loaded.to_messages() == trace.window(10.0, 30.0).to_messages()
+
+    def test_window_load_reads_less_than_the_blob(self, tmp_path, trace):
+        path = str(tmp_path / "trace.cols")
+        write_trace(path, trace)
+        with ColumnarTraceFile(path) as store:
+            store.window(10.0, 30.0)
+            assert 0 < store.bytes_read < store.file_size
+
+    def test_message_count_reads_no_segment(self, tmp_path, trace):
+        path = str(tmp_path / "trace.cols")
+        write_trace(path, trace)
+        with ColumnarTraceFile(path) as store:
+            assert store.message_count == trace.message_count
+            assert store.bytes_read == 0
+
+    def test_not_a_store_file_raises(self, tmp_path):
+        path = tmp_path / "bogus.cols"
+        path.write_bytes(b"definitely not a column store")
+        with pytest.raises(ValueError, match="not a columnar store"):
+            ColumnarTraceFile(str(path))
+
+
+class TestColumnarCacheLayout:
+    @pytest.fixture
+    def cache_dir(self, tmp_path, monkeypatch):
+        directory = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(directory))
+        return directory
+
+    def test_load_or_build_columnar_hits_after_miss(self, cache_dir, trace, messages):
+        builds = []
+
+        def build():
+            builds.append(1)
+            return trace
+
+        first = load_or_build_columnar("stream", "spec", build, format_version=1)
+        second = load_or_build_columnar("stream", "spec", build, format_version=1)
+        assert builds == [1]
+        assert first.to_messages() == messages
+        assert second.to_messages() == messages
+        names = os.listdir(cache_dir)
+        assert len(names) == 1 and names[0].endswith(".cols")
+
+    def test_corrupt_cols_entry_rebuilds(self, cache_dir, trace, messages):
+        load_or_build_columnar("stream", "spec", lambda: trace, format_version=1)
+        (entry,) = cache_dir.iterdir()
+        entry.write_bytes(b"garbage")
+        rebuilt = load_or_build_columnar("stream", "spec", lambda: trace, format_version=1)
+        assert rebuilt.to_messages() == messages
+
+    def test_open_columnar_serves_windows(self, cache_dir, trace):
+        store = open_columnar("stream", "spec", lambda: trace, format_version=1)
+        try:
+            window = store.window(10.0, 30.0)
+            assert window.to_messages() == trace.window(10.0, 30.0).to_messages()
+            assert store.bytes_read < store.file_size
+        finally:
+            store.close()
+
+    def test_open_columnar_disabled_cache_returns_none(self, monkeypatch, trace):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        assert open_columnar("stream", "spec", lambda: trace) is None
+
+    def test_cached_columnar_stream_roundtrip(self, cache_dir):
+        config = SyntheticTraceConfig(
+            peer_count=2,
+            duration_days=1.0,
+            min_table_size=400,
+            max_table_size=800,
+            noise_rate_per_second=0.02,
+            seed=23,
+        )
+        peer_as = SyntheticTraceGenerator(config).stream().peers[0].peer_as
+        generated = cached_columnar_stream(config, peer_as)  # miss: generates
+        reloaded = cached_columnar_stream(config, peer_as)  # hit: mmap load
+        assert reloaded.to_messages() == generated.to_messages()
+
+        store = cached_columnar_stream_file(config, peer_as)
+        try:
+            first, last = generated.first_timestamp, generated.last_timestamp
+            midpoint = (first + last) / 2.0
+            window = store.window(first, midpoint)
+            assert window.to_messages() == generated.window(first, midpoint).to_messages()
+            assert 0 < window.message_count < generated.message_count
+            assert store.bytes_read < store.file_size
+        finally:
+            store.close()

@@ -1,0 +1,162 @@
+"""Trace-cache regressions: fingerprint safety and temp-file hygiene.
+
+Two silent failure modes are pinned down here:
+
+* ``fingerprint`` falling back to a default ``repr`` that embeds the
+  object's memory address would mint a different cache key every process —
+  a permanent miss that regenerates minutes-long traces while looking like
+  a working cache.  Such configurations must fail loudly instead.
+* an interrupted cache writer (``KeyboardInterrupt`` mid-``pickle.dump``,
+  a builder/encoder crash, an unlink that itself fails) used to orphan
+  ``.tmp`` files in ``.trace_cache/`` forever; writes now clean up on any
+  exception and both the write path and ``clear_cache`` sweep stale
+  leftovers.
+"""
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.traces import trace_cache
+from repro.traces.trace_cache import (
+    cache_path_for,
+    clear_cache,
+    fingerprint,
+    load_or_build,
+)
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    directory = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(directory))
+    return directory
+
+
+class _Opaque:
+    """A config field with the default (address-bearing) repr."""
+
+
+class _Deterministic:
+    """A config field whose repr is stable across processes."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return f"_Deterministic({self.value!r})"
+
+
+class TestFingerprint:
+    def test_address_bearing_repr_raises_instead_of_thrashing(self):
+        with pytest.raises(TypeError, match="memory address"):
+            fingerprint(_Opaque())
+
+    def test_address_bearing_repr_nested_in_config_raises(self):
+        with pytest.raises(TypeError, match="memory address"):
+            fingerprint({"detector": _Opaque()})
+        with pytest.raises(TypeError, match="memory address"):
+            fingerprint([1, (_Opaque(),)])
+
+    def test_function_repr_raises(self):
+        with pytest.raises(TypeError, match="memory address"):
+            fingerprint(lambda: None)
+
+    def test_deterministic_custom_repr_is_allowed(self):
+        assert fingerprint(_Deterministic(7)) == "_Deterministic(7)"
+
+    def test_string_containing_address_text_is_not_rejected(self):
+        # Only the repr fallback is screened; user strings are data.
+        assert fingerprint("<built at 0xdeadbeef>") == repr("<built at 0xdeadbeef>")
+
+    def test_mixed_type_dict_keys_do_not_raise(self):
+        # sorted() over {1, "a"} raises TypeError; fingerprint must not.
+        rendered = fingerprint({1: "x", "a": 2, (3, 4): None})
+        assert fingerprint({"a": 2, (3, 4): None, 1: "x"}) == rendered
+
+    def test_mixed_type_sets_do_not_raise(self):
+        assert fingerprint({1, "a"}) == fingerprint({"a", 1})
+
+    def test_config_with_opaque_field_fails_loudly_not_silently(self, cache_dir):
+        """The regression scenario: a config holding an address-repr object."""
+        calls = []
+
+        def build():
+            calls.append(1)
+            return "value"
+
+        with pytest.raises(TypeError, match="memory address"):
+            load_or_build("trace", fingerprint({"cfg": _Opaque()}), build)
+        assert not calls, "the builder must not run for an unfingerprintable config"
+
+
+class _ExplodesMidPickle:
+    """Pickling this object raises after the dump has started writing."""
+
+    def __reduce__(self):
+        raise RuntimeError("interrupted mid-write")
+
+
+class TestTempFileHygiene:
+    def _tmp_files(self, cache_dir):
+        if not cache_dir.is_dir():
+            return []
+        return [name for name in os.listdir(cache_dir) if name.endswith(".tmp")]
+
+    def test_failed_write_leaves_no_tmp_file(self, cache_dir):
+        value = load_or_build("kind", "spec", lambda: _ExplodesMidPickle())
+        assert isinstance(value, _ExplodesMidPickle)  # building still succeeds
+        assert self._tmp_files(cache_dir) == []
+
+    def test_failed_write_after_successful_one_keeps_good_entry(self, cache_dir):
+        load_or_build("kind", "good", lambda: 41)
+        load_or_build("kind", "bad", lambda: _ExplodesMidPickle())
+        assert self._tmp_files(cache_dir) == []
+        assert load_or_build("kind", "good", lambda: pytest.fail("cache miss")) == 41
+
+    def test_interrupt_mid_write_cleans_up(self, cache_dir, monkeypatch):
+        """KeyboardInterrupt escapes load_or_build but not before cleanup."""
+
+        def explode(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(trace_cache.pickle, "dump", explode)
+        with pytest.raises(KeyboardInterrupt):
+            load_or_build("kind", "spec", lambda: 1)
+        assert self._tmp_files(cache_dir) == []
+
+    def test_write_path_sweeps_stale_tmp_litter(self, cache_dir):
+        cache_dir.mkdir(parents=True)
+        stale = cache_dir / "orphan-123.tmp"
+        stale.write_bytes(b"leftover")
+        ancient = time.time() - 7200
+        os.utime(stale, (ancient, ancient))
+        fresh = cache_dir / "live-writer.tmp"
+        fresh.write_bytes(b"in flight")
+
+        load_or_build("kind", "spec", lambda: 1)
+
+        assert not stale.exists(), "hour-old orphans are swept on the next write"
+        assert fresh.exists(), "young temp files may belong to a live writer"
+
+    def test_clear_cache_removes_tmp_and_cols_files(self, cache_dir):
+        cache_dir.mkdir(parents=True)
+        (cache_dir / "orphan.tmp").write_bytes(b"x")
+        (cache_dir / "entry.pkl").write_bytes(b"x")
+        (cache_dir / "entry.cols").write_bytes(b"x")
+        assert clear_cache() == 3
+        assert os.listdir(cache_dir) == []
+
+
+class TestCachePaths:
+    def test_suffix_selects_storage_layout(self, cache_dir):
+        pkl = cache_path_for("stream", "spec", format_version=1)
+        cols = cache_path_for("stream", "spec", format_version=1, suffix=".cols")
+        assert pkl.endswith(".pkl") and cols.endswith(".cols")
+        assert os.path.splitext(pkl)[0] == os.path.splitext(cols)[0]
+
+    def test_roundtrip_through_pickle_layout(self, cache_dir):
+        assert load_or_build("k", "s", lambda: {"a": 1}) == {"a": 1}
+        assert load_or_build("k", "s", lambda: pytest.fail("miss")) == {"a": 1}
