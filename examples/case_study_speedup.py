@@ -7,6 +7,9 @@ prefix at a time while the SWIFTED deployment (SWIFT controller + SDN switch)
 reroutes everything within a couple of seconds.
 
 Run with:  python examples/case_study_speedup.py [prefix_count]
+
+Below ~20k prefixes the detection/triggering thresholds scale down with the
+table so tiny runs (e.g. the smoke test's 2000-prefix variant) still fire.
 """
 
 import sys
@@ -16,6 +19,9 @@ sys.path.insert(0, "src")
 from repro.casestudy.controller import SwiftedDeployment
 from repro.casestudy.testbed import build_fig1_scenario
 from repro.casestudy.vanilla import VanillaRouterModel
+from repro.core import InferenceConfig, SwiftConfig
+from repro.core.burst_detection import BurstDetectorConfig
+from repro.core.history import TriggeringSchedule
 
 
 def main() -> None:
@@ -37,8 +43,24 @@ def main() -> None:
           f"{speaker_based.total_convergence_seconds:.1f} s, "
           f"{len(speaker_based.recovery_time_of)} prefixes recovered)")
 
-    # The SWIFTED deployment also replays the burst via receive_batch().
-    deployment = SwiftedDeployment.for_scenario(scenario)
+    # The SWIFTED deployment replays the same burst in columnar form.  For
+    # tables too small to reach the paper's 2,500-withdrawal trigger, scale
+    # the thresholds with the table instead of silently never firing.
+    config = None
+    if prefix_count < 20000:
+        trigger = max(50, prefix_count // 4)
+        config = SwiftConfig(
+            inference=InferenceConfig(
+                detector=BurstDetectorConfig(
+                    start_threshold=max(10, prefix_count // 10)
+                ),
+                schedule=TriggeringSchedule(
+                    steps=((trigger, max(10 * trigger, 10000)),),
+                    unconditional_after=2 * trigger,
+                ),
+            )
+        )
+    deployment = SwiftedDeployment.for_scenario(scenario, config=config)
     swift_seconds = deployment.run_burst(scenario)
     print(f"SWIFTED router: affected traffic rerouted after {swift_seconds:.2f} s")
     action, completion = deployment.controller.reroute_completions[0]

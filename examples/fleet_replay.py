@@ -7,7 +7,11 @@ the aggregate against the sequential baseline, the determinism property the
 fleet driver guarantees.  Also demonstrates a partial (time-window) load of
 a cached month stream straight off the mmap-backed column store.
 
-Run with:  python examples/fleet_replay.py [workers]
+Run with:  python examples/fleet_replay.py [workers] [duration_days] [table_size]
+
+Defaults replay the 4-session, 4-day corpus of the fleet parity suite; the
+smoke test's ``python examples/fleet_replay.py 2 0.5 400`` variant shrinks
+both the streams and the per-session tables.
 """
 
 import pickle
@@ -25,11 +29,13 @@ from repro.traces.synthetic import (
 
 def main() -> None:
     workers = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    duration_days = float(sys.argv[2]) if len(sys.argv) > 2 else 4.0
+    table_size = int(sys.argv[3]) if len(sys.argv) > 3 else 1500
     config = SyntheticTraceConfig(
         peer_count=4,
-        duration_days=4.0,
-        min_table_size=1500,
-        max_table_size=4000,
+        duration_days=duration_days,
+        min_table_size=table_size,
+        max_table_size=max(table_size + 1, int(table_size * 8 / 3)),
         burst_size_minimum=400,
         noise_rate_per_second=0.01,
         seed=17,

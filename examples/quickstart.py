@@ -9,7 +9,11 @@ lose traffic until it has processed every withdrawal; the SWIFTED router
 infers the failure from the first few thousand messages and reroutes all the
 affected prefixes to AS 3 with a couple of wildcard rules.
 
-Run with:  python examples/quickstart.py
+Run with:  python examples/quickstart.py [prefix_count]
+
+``prefix_count`` (default 10000) is the total table size; the detection and
+triggering thresholds scale with it, so tiny runs (e.g. the smoke test's
+``python examples/quickstart.py 600``) exercise the same pipeline.
 """
 
 import random
@@ -20,20 +24,37 @@ sys.path.insert(0, "src")
 from repro.bgp.attributes import ASPath
 from repro.bgp.messages import Update
 from repro.bgp.prefix import prefix_block
-from repro.core import EncoderConfig, SwiftConfig, SwiftedRouter
+from repro.core import EncoderConfig, InferenceConfig, SwiftConfig, SwiftedRouter
+from repro.core.burst_detection import BurstDetectorConfig
+from repro.core.history import TriggeringSchedule
 from repro.dataplane.timing import FibUpdateTimingModel
 
 
 def main() -> None:
+    total = int(sys.argv[1]) if len(sys.argv) > 1 else 10000
     # --- the routes the router learned before the outage -------------------
-    s6 = prefix_block("60.0.0.0/24", 6000)   # prefixes originated by AS 6
-    s7 = prefix_block("70.0.0.0/24", 3000)   # prefixes originated by AS 7
-    s8 = prefix_block("80.0.0.0/24", 1000)   # prefixes originated by AS 8
+    s6 = prefix_block("60.0.0.0/24", (total * 6) // 10)  # originated by AS 6
+    s7 = prefix_block("70.0.0.0/24", (total * 3) // 10)  # originated by AS 7
+    s8 = prefix_block("80.0.0.0/24", total // 10)        # originated by AS 8
     all_prefixes = s6 + s7 + s8
 
+    # Paper thresholds at full scale (1,500-withdrawal detection, 2,500
+    # trigger), scaled down proportionally for smaller tables.
+    trigger = max(50, total // 4)
     router = SwiftedRouter(
         local_as=1,
-        config=SwiftConfig(encoder=EncoderConfig(prefix_threshold=500)),
+        config=SwiftConfig(
+            inference=InferenceConfig(
+                detector=BurstDetectorConfig(
+                    start_threshold=max(10, (total * 3) // 20)
+                ),
+                schedule=TriggeringSchedule(
+                    steps=((trigger, max(10 * trigger, 10000)),),
+                    unconditional_after=2 * trigger,
+                ),
+            ),
+            encoder=EncoderConfig(prefix_threshold=max(50, total // 20)),
+        ),
     )
     for peer in (2, 3, 4):
         router.add_peer(peer)

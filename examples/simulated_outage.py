@@ -9,7 +9,11 @@ and injects random link failures.  For each resulting burst it runs the
 inference at the end of the burst and after the first 200 withdrawals, and
 reports whether the inferred links contain (or neighbour) the true failure.
 
-Run with:  python examples/simulated_outage.py
+Run with:  python examples/simulated_outage.py [as_count]
+
+``as_count`` (default 300) sizes the topology; the failure filter scales
+with it so tiny runs (e.g. ``python examples/simulated_outage.py 80``)
+still find analysable bursts.
 """
 
 import sys
@@ -23,7 +27,8 @@ from repro.topology.generator import TopologyConfig, generate_topology
 
 
 def main() -> None:
-    config = TopologyConfig(as_count=300, prefixes_per_as=10, seed=42)
+    as_count = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    config = TopologyConfig(as_count=as_count, prefixes_per_as=10, seed=42)
     graph = generate_topology(config)
     print(f"generated topology: {graph.as_count} ASes, {graph.link_count} links, "
           f"average degree {graph.average_degree:.1f}, "
@@ -46,10 +51,13 @@ def main() -> None:
     print(f"vantage point: AS {vantage.local_as} observing its peer AS {vantage.peer_as} "
           f"(degree {best_degree})\n")
 
-    failures = simulator.random_failures(vantage, count=5, min_withdrawals=40, seed=1)
+    min_withdrawals = 40 if as_count >= 200 else 10
+    failures = simulator.random_failures(
+        vantage, count=5, min_withdrawals=min_withdrawals, seed=1
+    )
     for failure in failures:
         burst = simulator.simulate(failure, vantage)
-        if burst.withdrawal_count < 20:
+        if burst.withdrawal_count < min(20, min_withdrawals):
             continue
         rib = {p: a.as_path for p, a in burst.initial_rib.items()}
         calculator = FitScoreCalculator(rib)

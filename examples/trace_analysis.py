@@ -8,7 +8,10 @@ like on-disk format, reads it back, extracts bursts with the 10 s sliding
 window (start threshold 1,500 withdrawals, stop threshold 9) and runs the
 SWIFT inference engine on each extracted burst, reporting TPR/FPR.
 
-Run with:  python examples/trace_analysis.py
+Run with:  python examples/trace_analysis.py [peer_count] [duration_days]
+
+Defaults reproduce the §2.2/§6.2 setting (6 sessions, 10 days); the smoke
+test runs a tiny ``python examples/trace_analysis.py 2 2`` variant.
 """
 
 import os
@@ -26,8 +29,8 @@ from repro.traces.synthetic import SyntheticTraceConfig, SyntheticTraceGenerator
 
 def main() -> None:
     config = SyntheticTraceConfig(
-        peer_count=6,
-        duration_days=10,
+        peer_count=int(sys.argv[1]) if len(sys.argv) > 1 else 6,
+        duration_days=float(sys.argv[2]) if len(sys.argv) > 2 else 10,
         min_table_size=4000,
         max_table_size=20000,
         noise_rate_per_second=0.02,

@@ -175,6 +175,7 @@ class PeeringSession:
         # materialisation entirely when nothing records the objects.
         self.record_stream = True
         self._observers: List[Callable[["PeeringSession", Update, List[RouteChange]], None]] = []
+        self._change_observers: List[Callable[["PeeringSession", List[RouteChange]], None]] = []
 
     # -- lifecycle --------------------------------------------------------
 
@@ -217,6 +218,30 @@ class PeeringSession:
         """Unregister a previously added callback."""
         self._observers.remove(callback)
 
+    def add_change_observer(
+        self,
+        callback: Callable[["PeeringSession", List[RouteChange]], None],
+    ) -> None:
+        """Register a callback fed the Adj-RIB-In changes, sans messages.
+
+        Change observers receive ``(session, changes)`` — no ``Update``
+        object — so, unlike :meth:`add_observer` observers, they do **not**
+        force the columnar fast path of :meth:`process_columnar_run` to
+        materialise messages.  Granularity is one call per processing call
+        (:meth:`process` fires per message; the batched paths fire once with
+        the run's concatenated changes, in message order) and empty change
+        lists are skipped; observers that need per-message boundaries or the
+        messages themselves must use :meth:`add_observer`.
+        """
+        self._change_observers.append(callback)
+
+    def remove_change_observer(
+        self,
+        callback: Callable[["PeeringSession", List[RouteChange]], None],
+    ) -> None:
+        """Unregister a previously added change observer."""
+        self._change_observers.remove(callback)
+
     # -- message processing -----------------------------------------------
 
     def process(self, message: BGPMessage) -> List[RouteChange]:
@@ -256,6 +281,9 @@ class PeeringSession:
 
         for observer in self._observers:
             observer(self, message, changes)
+        if changes:
+            for observer in self._change_observers:
+                observer(self, changes)
         return changes
 
     def process_all(self, messages: Iterable[BGPMessage]) -> List[RouteChange]:
@@ -329,7 +357,20 @@ class PeeringSession:
         stats.announcements_received += announcements
         if count:
             stats.last_message_at = last_at
+        self._notify_change_observers(per_message)
         return per_message
+
+    def _notify_change_observers(
+        self, per_message: List[List[RouteChange]]
+    ) -> None:
+        """Fire the change observers once with a run's concatenated changes."""
+        if not self._change_observers:
+            return
+        flat = [change for changes in per_message for change in changes]
+        if not flat:
+            return
+        for observer in self._change_observers:
+            observer(self, flat)
 
     def process_columnar_run(self, run) -> List[List[RouteChange]]:
         """Apply a same-peer :class:`~repro.traces.columnar.ColumnarRun`.
@@ -340,7 +381,11 @@ class PeeringSession:
         :class:`~repro.bgp.messages.Update`.  Semantically identical to
         :meth:`process_batch` over the run's materialised messages, which is
         exactly what it falls back to when observers are registered or the
-        stream recorder is on (both consume message objects).
+        stream recorder is on (both consume message objects).  Change
+        observers (:meth:`add_change_observer`) consume only
+        :class:`~repro.bgp.rib.RouteChange` lists and therefore do *not*
+        force the fallback — that is what keeps the SWIFTED router's
+        dirty-prefix tracking off the materialisation path.
 
         ``run`` is duck-typed (no import of the traces layer): it must carry
         ``trace``/``start``/``stop`` plus a ``materialise()`` fallback, the
@@ -414,6 +459,7 @@ class PeeringSession:
         stats.announcements_received += announcements
         if count:
             stats.last_message_at = last_at
+        self._notify_change_observers(per_message)
         return per_message
 
     # -- convenience ------------------------------------------------------

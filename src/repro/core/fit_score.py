@@ -36,6 +36,7 @@ index from the RIB first.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -294,6 +295,133 @@ class FitScoreCalculator:
             for link in links:
                 withdrawn[link] = withdrawn.get(link, 0) + 1
                 delta[link] = delta.get(link, 0) - 1
+        return processed
+
+    def record_run(self, run, start: Optional[int] = None, stop: Optional[int] = None) -> int:
+        """Record a columnar run (or a row window of one) straight from columns.
+
+        The column-native equivalent of feeding every materialised message of
+        ``run[start:stop]`` through :meth:`record_withdrawals` /
+        :meth:`record_update` in row order: per row, the withdrawal window of
+        the flat ``wd_prefix`` column is folded into the burst overlays, then
+        each announcement's (prefix, AS path) pair — resolved through the
+        pool's interning tables, so the objects handled here are the *same*
+        objects the engine's :class:`LinkPrefixIndex` keys by — is recorded
+        as an implicit withdrawal.  No :class:`~repro.bgp.messages.BGPMessage`
+        (nor any ``PathAttributes``) is ever constructed.
+
+        ``run`` is duck-typed (``trace``/``start``/``stop``, the interface
+        documented in :mod:`repro.traces.columnar`); ``start``/``stop``
+        default to the whole run.  Returns the number of withdrawal entries
+        processed (duplicates included), matching
+        :meth:`record_withdrawals`'s return-value contract.
+        """
+        trace = run.trace
+        pool = trace.pool
+        prefix_at = pool.prefix_at
+        path_at = pool.path_at
+        attr_path = pool.attr_path
+        wd_end = trace.wd_end
+        ann_end = trace.ann_end
+        wd_prefix = trace.wd_prefix
+        ann_prefix = trace.ann_prefix
+        ann_attr = trace.ann_attr
+        lo = run.start if start is None else start
+        hi = run.stop if stop is None else stop
+        if hi <= lo:
+            return 0
+        w = wd_end[lo - 1] if lo else 0
+        a = ann_end[lo - 1] if lo else 0
+        processed = 0
+        record_update = self.record_update
+        seen = self._withdrawn_prefixes
+        links_of_prefix = self._index.links_of_prefix
+        withdrawn = self._withdrawn_for_link
+        delta = self._routed_delta
+        seen_add = seen.add
+        links_get = links_of_prefix.get
+        withdrawn_get = withdrawn.get
+        delta_get = delta.get
+        # Burst withdrawals concentrate on a handful of distinct links (the
+        # failed link's prefixes share their paths), so the per-link counter
+        # arithmetic is deferred: the links of every fresh withdrawal pile
+        # into a flat list and one C-speed Counter pass folds them into the
+        # overlays per distinct link — flushed before any announcement (which
+        # reads the overlays through record_update) and at the end.
+        pending: List[Link] = []
+        pending_extend = pending.extend
+
+        def flush() -> None:
+            if len(pending) > 16:
+                # One C-speed counting pass, then one merge per distinct link.
+                for link, count in Counter(pending).items():
+                    withdrawn[link] = withdrawn_get(link, 0) + count
+                    delta[link] = delta_get(link, 0) - count
+            else:
+                for link in pending:
+                    withdrawn[link] = withdrawn_get(link, 0) + 1
+                    delta[link] = delta_get(link, 0) - 1
+            del pending[:]
+
+        # Decoded-once prefix row cache: an InternPool detail, probed rather
+        # than required — a contract-honoring pool without it simply takes
+        # the generic row loop below (pool.prefix_at is the contract API).
+        prefix_rows = getattr(pool, "_prefix_cache", None)
+        if prefix_rows is not None and ann_end[hi - 1] == a:
+            # No announcements anywhere in the span — the canonical failure
+            # burst.  Row boundaries are then irrelevant to the calculator
+            # (nothing reads the overlays mid-span), so the whole withdrawal
+            # window streams straight off the flat column: one array slice,
+            # C-level iteration over interned-prefix indices, one flush.
+            window = wd_prefix[w : wd_end[hi - 1]]
+            processed = len(window)
+            fresh = 0
+            for index in window:
+                prefix = prefix_rows[index]
+                if prefix is None:
+                    prefix = prefix_at(index)
+                if prefix in seen:
+                    continue
+                seen_add(prefix)
+                fresh += 1
+                links = links_get(prefix)
+                if links:
+                    pending_extend(links)
+            if fresh:
+                self._total_withdrawals += fresh
+            flush()
+            return processed
+
+        for row in range(lo, hi):
+            w_high = wd_end[row]
+            a_high = ann_end[row]
+            if w < w_high:
+                fresh = 0
+                while w < w_high:
+                    prefix = prefix_at(wd_prefix[w])
+                    w += 1
+                    processed += 1
+                    if prefix in seen:
+                        continue
+                    seen_add(prefix)
+                    fresh += 1
+                    links = links_get(prefix)
+                    if links:
+                        pending_extend(links)
+                if fresh:
+                    # record_update below reads (and may decrement) the
+                    # total, so it is synced per row, not per span.
+                    self._total_withdrawals += fresh
+            if a < a_high:
+                if pending:
+                    flush()
+                while a < a_high:
+                    record_update(
+                        prefix_at(ann_prefix[a]), path_at(attr_path[ann_attr[a]])
+                    )
+                    a += 1
+        if pending:
+            flush()
         return processed
 
     def record_update(self, prefix: Prefix, new_path: ASPath) -> None:

@@ -32,6 +32,7 @@ experiment drivers prefer to amortise per-message Python overhead.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
@@ -285,6 +286,52 @@ class InferenceEngine:
         """Feed a whole stream; returns every accepted inference."""
         return self.process_batch(messages)
 
+    def process_columnar_run(self, run) -> List[InferenceResult]:
+        """Feed a same-peer columnar run straight from its columns.
+
+        The column-native twin of :meth:`process_batch` over the run's
+        materialised messages: identical :class:`InferenceResult` sequences,
+        identical burst-boundary semantics (late-withdrawal buffering, "end"
+        events, quiet-state flush), but no :class:`~repro.bgp.messages.Update`
+        — nor any per-message tuple — is ever constructed.  Three layers make
+        that possible:
+
+        * the detector pre-scans the run
+          (:meth:`~repro.core.burst_detection.BurstDetector.observe_run`) and
+          reports every burst transition with its row index, so the engine
+          walks the run as homogeneous *spans* between transitions;
+        * quiet spans age the withdrawal buffer and patch the RIB view / the
+          persistent index from the announcement columns (interned objects,
+          shared with the index);
+        * burst spans are recorded in bulk
+          (:meth:`~repro.core.fit_score.FitScoreCalculator.record_run`), with
+          the triggering thresholds located by bisect over the cumulative
+          withdrawal-bound column — the engine only stops at rows where the
+          per-message path would actually have run an inference.
+
+        ``run`` is duck-typed (``trace``/``start``/``stop``, the interface
+        documented in :mod:`repro.traces.columnar`).  Returns every accepted
+        inference, like :meth:`process_batch`.
+
+        One caveat on the pre-scan: a listener fired *mid-run* observes
+        detector state (``state``, ``current_burst_start``, the ``events``
+        log) already advanced to the end of the run, not to the accepting
+        row as under per-message replay.  Engine state and every emitted
+        result are unaffected, and at run boundaries the detector state is
+        identical; listeners needing at-inference detector snapshots should
+        feed the engine per message (or split runs at the granularity they
+        care about).
+        """
+        accepted: List[InferenceResult] = []
+        position = run.start
+        stop = run.stop
+        for row, event in self.detector.observe_run(run):
+            self._columnar_span(run, position, row, accepted)
+            self._columnar_event_row(run, row, event, accepted)
+            position = row + 1
+        self._columnar_span(run, position, stop, accepted)
+        return accepted
+
     def apply_rib_delta(
         self, delta: Mapping[Prefix, Optional[ASPath]]
     ) -> None:
@@ -376,6 +423,252 @@ class InferenceEngine:
             _, prefix = self._recent_withdrawals.popleft()
             self._rib.pop(prefix, None)
             self._index.remove_prefix(prefix)
+
+    # -- columnar internals -------------------------------------------------
+
+    def _fold_announcements(
+        self, trace, a_low: int, a_high: int, calculator=None, record: bool = True
+    ) -> None:
+        """Fold [a_low, a_high) of the announcement columns into the RIB view.
+
+        The one decode-and-fold loop every columnar span shares (the per-row
+        quiet loop keeps its own inlined copy for speed): each announcement's
+        interned (prefix, AS path) pair lands in the engine RIB, the
+        persistent index is patched — directly, or through ``calculator``'s
+        :meth:`~repro.core.fit_score.FitScoreCalculator.record_update` when
+        one is given (in-burst, where the implicit-withdrawal bookkeeping
+        must run first and a calculator sharing the index patches it itself).
+        ``record=False`` is the post-:meth:`_record_span` mode: the
+        calculator already recorded the window, so only the RIB mirror (and
+        the index, for a non-sharing calculator) remains.
+        """
+        if a_high <= a_low:
+            return
+        pool = trace.pool
+        prefix_at = pool.prefix_at
+        path_at = pool.path_at
+        attr_path = pool.attr_path
+        ann_prefix = trace.ann_prefix
+        ann_attr = trace.ann_attr
+        rib = self._rib
+        set_path = (
+            None
+            if calculator is not None and self._calculator_shares_index
+            else self._index.set_path
+        )
+        for index in range(a_low, a_high):
+            prefix = prefix_at(ann_prefix[index])
+            path = path_at(attr_path[ann_attr[index]])
+            if calculator is not None and record:
+                calculator.record_update(prefix, path)
+            if set_path is not None:
+                set_path(prefix, path)
+            rib[prefix] = path
+
+    def _columnar_span(
+        self, run, lo: int, hi: int, accepted: List[InferenceResult]
+    ) -> None:
+        """Process rows [lo, hi) of ``run``, none of which transitions."""
+        if hi <= lo:
+            return
+        if self._in_burst:
+            self._burst_span(run, lo, hi, accepted)
+        else:
+            self._quiet_span(run, lo, hi)
+
+    def _quiet_span(self, run, lo: int, hi: int) -> None:
+        """Quiet-mode rows: buffer withdrawals, track announcements, age.
+
+        Mirrors the quiet branches of :meth:`process_message` row by row;
+        withdrawal-free spans over an empty buffer collapse into one pass
+        over the announcement columns (buffer aging is a no-op and row
+        boundaries only matter to it).
+        """
+        trace = run.trace
+        wd_end = trace.wd_end
+        ann_end = trace.ann_end
+        w = wd_end[lo - 1] if lo else 0
+        a = ann_end[lo - 1] if lo else 0
+        if not self._recent_withdrawals and wd_end[hi - 1] == w:
+            self._fold_announcements(trace, a, ann_end[hi - 1])
+            return
+        pool = trace.pool
+        prefix_at = pool.prefix_at
+        path_at = pool.path_at
+        attr_path = pool.attr_path
+        ann_prefix = trace.ann_prefix
+        ann_attr = trace.ann_attr
+        rib = self._rib
+        set_path = self._index.set_path
+        kinds = trace.msg_kind
+        times = trace.msg_time
+        wd_prefix = trace.wd_prefix
+        buffered = self._recent_withdrawals
+        buffered_pop = buffered.popleft
+        buffered_append = buffered.append
+        rib_pop = rib.pop
+        remove_prefix = self._index.remove_prefix
+        window_seconds = self.config.detector.window_seconds
+        last_wd = wd_end[hi - 1]
+        for row in range(lo, hi):
+            w_high = wd_end[row]
+            a_high = ann_end[row]
+            if kinds[row] != 0:
+                w = w_high
+                a = a_high
+                continue
+            timestamp = times[row]
+            if buffered:
+                # Inlined _expire_recent: the buffer ages on every quiet
+                # UPDATE timestamp, expired prefixes leave the RIB view.
+                horizon = timestamp - window_seconds
+                while buffered and buffered[0][0] < horizon:
+                    _, prefix = buffered_pop()
+                    rib_pop(prefix, None)
+                    remove_prefix(prefix)
+            elif w == last_wd:
+                # Buffer drained and no withdrawals left in the span: the
+                # remaining rows are pure announcement traffic — fold them
+                # in one pass over the announcement columns.
+                self._fold_announcements(trace, a, ann_end[hi - 1])
+                return
+            while w < w_high:
+                buffered_append((timestamp, prefix_at(wd_prefix[w])))
+                w += 1
+            while a < a_high:
+                prefix = prefix_at(ann_prefix[a])
+                path = path_at(attr_path[ann_attr[a]])
+                set_path(prefix, path)
+                rib[prefix] = path
+                a += 1
+
+    def _burst_span(
+        self, run, lo: int, hi: int, accepted: List[InferenceResult]
+    ) -> None:
+        """In-burst rows: bulk-record between triggering thresholds.
+
+        The per-message path runs :meth:`_maybe_infer` after every
+        withdrawal-bearing message, but the call is a no-op until the burst
+        counter reaches the next trigger — and the counter's trajectory is
+        pure column arithmetic (``wd_end`` deltas).  So the span is recorded
+        in slices: bisect the cumulative bound column for the row where the
+        counter crosses the trigger, bulk-record up to and including it, run
+        the inference there, repeat.  Once an inference is accepted (or the
+        schedule is exhausted) the rest of the span records in one call.
+        """
+        trace = run.trace
+        wd_end = trace.wd_end
+        ann_end = trace.ann_end
+        times = trace.msg_time
+        prefix_at = trace.pool.prefix_at
+        position = lo
+        while position < hi:
+            if self._accepted_result is not None or self._next_trigger is None:
+                self._withdrawals_in_burst += self._record_span(run, position, hi)
+                return
+            base = wd_end[position - 1] if position else 0
+            needed = self._next_trigger - self._withdrawals_in_burst
+            if needed > 0:
+                row = bisect_left(wd_end, base + needed, position, hi)
+            else:
+                # Defensive: the schedule guarantees needed > 0 after every
+                # inference, but an externally mutated trigger still stops
+                # at the next withdrawal-bearing row, as per-message would.
+                row = bisect_right(wd_end, base, position, hi)
+            if row >= hi:
+                self._withdrawals_in_burst += self._record_span(run, position, hi)
+                return
+            # The trigger row itself replays the per-message order exactly:
+            # its withdrawals are recorded, the inference runs, and only
+            # then its announcements land — process_message applies a
+            # message's announcements *after* the withdrawal branch's
+            # trigger check, and an announcement clearing a withdrawal on
+            # the trigger row must not be visible to the inference.
+            self._withdrawals_in_burst += self._record_span(run, position, row)
+            w_low = wd_end[row - 1] if row else 0
+            self._withdrawals_in_burst += self._calculator.record_withdrawals(
+                [prefix_at(trace.wd_prefix[i]) for i in range(w_low, wd_end[row])]
+            )
+            result = self._maybe_infer(times[row])
+            if result is not None:
+                accepted.append(result)
+            self._fold_announcements(
+                trace,
+                ann_end[row - 1] if row else 0,
+                ann_end[row],
+                calculator=self._calculator,
+            )
+            position = row + 1
+
+    def _record_span(self, run, lo: int, hi: int) -> int:
+        """Record rows [lo, hi) into the burst calculator; mirror the RIB.
+
+        Returns the withdrawal entries processed (the burst-counter
+        increment).  The calculator handles its own withdrawal/announcement
+        interleaving (:meth:`~repro.core.fit_score.FitScoreCalculator.record_run`);
+        the engine then folds the span's announcements into its RIB view —
+        and into the persistent index when the calculator does not share it
+        — exactly as the announcement branch of :meth:`process_message` does.
+        """
+        if hi <= lo:
+            return 0
+        processed = self._calculator.record_run(run, lo, hi)
+        # Folding after the bulk record is equivalent to interleaving: the
+        # maps are last-wins per prefix and nothing reads them mid-span.
+        trace = run.trace
+        ann_end = trace.ann_end
+        self._fold_announcements(
+            trace,
+            ann_end[lo - 1] if lo else 0,
+            ann_end[hi - 1],
+            calculator=self._calculator,
+            record=False,
+        )
+        return processed
+
+    def _columnar_event_row(
+        self, run, row: int, event, accepted: List[InferenceResult]
+    ) -> None:
+        """Process the one row where the detector reported a transition.
+
+        Replays the corresponding branch of :meth:`process_message`: a
+        "start" row ages the quiet buffer, opens the burst (replaying the
+        buffer), records its own withdrawals and runs the first trigger
+        check; an "end" row tears the burst down and attributes its own
+        withdrawals to quiet time.  Announcements on the row land wherever
+        the new mode puts them.
+        """
+        trace = run.trace
+        prefix_at = trace.pool.prefix_at
+        wd_end = trace.wd_end
+        ann_end = trace.ann_end
+        timestamp = trace.msg_time[row]
+        w_low = wd_end[row - 1] if row else 0
+        w_high = wd_end[row]
+        a_low = ann_end[row - 1] if row else 0
+        a_high = ann_end[row]
+        if not self._in_burst:
+            self._expire_recent(timestamp)
+        if event.kind == "start":
+            self._start_burst(event.timestamp)
+            if w_high > w_low:
+                wd_prefix = trace.wd_prefix
+                self._withdrawals_in_burst += self._calculator.record_withdrawals(
+                    [prefix_at(wd_prefix[index]) for index in range(w_low, w_high)]
+                )
+                result = self._maybe_infer(timestamp)
+                if result is not None:
+                    accepted.append(result)
+            self._fold_announcements(
+                trace, a_low, a_high, calculator=self._calculator
+            )
+        else:
+            self._end_burst(event.timestamp)
+            buffered = self._recent_withdrawals
+            wd_prefix = trace.wd_prefix
+            for index in range(w_low, w_high):
+                buffered.append((timestamp, prefix_at(wd_prefix[index])))
+            self._fold_announcements(trace, a_low, a_high)
 
     def _start_burst(self, timestamp: float) -> None:
         if self._calculator_factory is not None:

@@ -92,6 +92,43 @@ class ReferenceFitScoreCalculator:
             self.record_withdrawal(prefix)
         return processed
 
+    def record_run(self, run, start=None, stop=None) -> int:
+        """Columnar-run shim mirroring :meth:`FitScoreCalculator.record_run`.
+
+        Walks the run's row windows in order, feeding :meth:`record_withdrawal`
+        and :meth:`record_update` — so the engine's column-native path can be
+        parity-tested against this implementation without materialising
+        messages either.  Returns the withdrawal entries processed.
+        """
+        trace = run.trace
+        pool = trace.pool
+        prefix_at = pool.prefix_at
+        path_at = pool.path_at
+        attr_path = pool.attr_path
+        wd_end = trace.wd_end
+        ann_end = trace.ann_end
+        lo = run.start if start is None else start
+        hi = run.stop if stop is None else stop
+        if hi <= lo:
+            return 0
+        w = wd_end[lo - 1] if lo else 0
+        a = ann_end[lo - 1] if lo else 0
+        processed = 0
+        for row in range(lo, hi):
+            w_high = wd_end[row]
+            a_high = ann_end[row]
+            while w < w_high:
+                self.record_withdrawal(prefix_at(trace.wd_prefix[w]))
+                w += 1
+                processed += 1
+            while a < a_high:
+                self.record_update(
+                    prefix_at(trace.ann_prefix[a]),
+                    path_at(attr_path[trace.ann_attr[a]]),
+                )
+                a += 1
+        return processed
+
     def record_update(self, prefix: Prefix, new_path: ASPath) -> None:
         """Account for a path update (implicit withdrawal of the old path)."""
         old_links = self._links_of_prefix.get(prefix, ())

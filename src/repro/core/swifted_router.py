@@ -144,7 +144,7 @@ class SwiftedRouter:
     def add_peer(self, peer_as: int, name: Optional[str] = None) -> None:
         """Create a peering session with ``peer_as``."""
         session = self.speaker.add_peer(peer_as, name=name)
-        session.add_observer(self._note_session_update)
+        session.add_change_observer(self._note_session_changes)
 
     def load_initial_routes(
         self,
@@ -187,18 +187,22 @@ class SwiftedRouter:
 
     # -- change tracking ------------------------------------------------------
 
-    def _note_session_update(
-        self, session, update: Update, changes: List[RouteChange]
+    def _note_session_changes(
+        self, session, changes: List[RouteChange]
     ) -> None:
-        """Session observer feeding the incremental-provision bookkeeping.
+        """Session change observer feeding incremental-provision bookkeeping.
 
+        Registered via
+        :meth:`~repro.bgp.session.PeeringSession.add_change_observer` — it
+        consumes only :class:`RouteChange` lists, never message objects, so
+        the session's columnar fast path stays armed on SWIFTED routers.
         Every candidate-route change marks its prefix dirty for the next
         :meth:`provision`.  Messages flowing through :meth:`receive` /
-        :meth:`receive_batch` reach the session's inference engine directly
-        (which maintains its own RIB view with burst-aware semantics);
-        everything else — initial table loads, direct speaker use — also
-        accumulates an Adj-RIB-In delta replayed into the engine at the next
-        :meth:`provision`.
+        :meth:`receive_batch` / :meth:`receive_columnar` reach the session's
+        inference engine directly (which maintains its own RIB view with
+        burst-aware semantics); everything else — initial table loads,
+        direct speaker use — also accumulates an Adj-RIB-In delta replayed
+        into the engine at the next :meth:`provision`.
         """
         dirty = self._provision_dirty
         delta: Optional[Dict[Prefix, Optional[ASPath]]] = None
@@ -460,13 +464,16 @@ class SwiftedRouter:
 
         Mirrors :meth:`receive_batch` over the materialised stream — same
         reroute actions, same inference results — but consumes the trace in
-        its native run-grouped shape.  Each run is materialised lazily at
-        most *once* and shared between the watching inference engine and
-        the speaker (engines consume message objects, and every provisioned
-        session has one; the speaker's change-tracking observer likewise
-        reads the per-message stream).  The truly zero-object columnar path
-        belongs to observer-free speakers — see
-        :meth:`repro.bgp.speaker.BGPSpeaker.receive_columnar`.
+        its native run-grouped shape *end to end*: the speaker applies each
+        run straight from the columns
+        (:meth:`~repro.bgp.session.PeeringSession.process_columnar_run`;
+        the router's dirty-prefix tracking is a change observer, so it does
+        not force materialisation) and the watching inference engine reads
+        the same column window through
+        :meth:`~repro.core.inference.InferenceEngine.process_columnar_run`.
+        With stream recording off — the replay default — no
+        :class:`~repro.bgp.messages.BGPMessage` is constructed anywhere on
+        this path.
         """
         if not self._provisioned:
             raise RuntimeError("provision() must be called before receiving updates")
@@ -477,13 +484,11 @@ class SwiftedRouter:
         self._feeding_engines = True
         try:
             for run in runs:
+                batch.add_columnar_run(run)
                 engine = self._engines.get(run.peer_as)
                 if engine is None:
-                    batch.add_columnar_run(run)
                     continue
-                messages = run.materialise()
-                batch.add_run(run.peer_as, messages)
-                for result in engine.process_batch(messages):
+                for result in engine.process_columnar_run(run):
                     action = self._apply_inference(run.peer_as, result)
                     if action is not None:
                         actions.append(action)

@@ -7,19 +7,20 @@ generated straight into columns (memoised on disk by
 :func:`repro.traces.synthetic.cached_columnar_stream`, reloading at array
 speed), and replay consumes
 :meth:`~repro.traces.columnar.ColumnarTrace.iter_batches` — same-peer runs
-applied through the batched speaker path, with message objects materialised
-only for the runs an inference engine watches (and not at all in
-speaker-only mode).
+applied through the batched speaker path, with the inference engines
+reading the same column windows
+(:meth:`~repro.core.inference.InferenceEngine.process_columnar_run`): no
+message object is constructed in either mode.
 
 Two modes:
 
 * ``swifted=True`` (default): the stream drives a
   :class:`~repro.core.swifted_router.SwiftedRouter` — burst inference,
-  reroute activations and loss-of-reachability accounting included;
+  reroute activations and loss-of-reachability accounting included, all
+  column-native;
 * ``swifted=False``: the stream drives a bare
-  :class:`~repro.bgp.speaker.BGPSpeaker`, the pure columnar fast path
-  (zero message-object construction), which is the replay-throughput
-  ceiling of the substrate.
+  :class:`~repro.bgp.speaker.BGPSpeaker` — no inference machinery at all,
+  which is the replay-throughput ceiling of the substrate.
 
 Replay proceeds in chunks of roughly ``chunk_messages`` messages: each chunk
 is one speaker batch (decision process once per touched prefix), matching
@@ -128,6 +129,23 @@ class MonthReplayResult:
         )
 
 
+def _materialising(receive_batch):
+    """Adapt ``receive_batch`` to chunk-of-runs input (the object-path twin).
+
+    Expands every run of a chunk into message objects before handing them to
+    the batched object path — what ``receive_columnar`` replaces.  Kept as
+    the explicit ``column_native=False`` comparator for parity tests and
+    benchmarks.
+    """
+
+    def receive(chunk: List[ColumnarRun]):
+        return receive_batch(
+            [message for run in chunk for message in run]
+        )
+
+    return receive
+
+
 def _chunked_runs(
     stream: ColumnarTrace, chunk_messages: int
 ) -> Iterator[List[ColumnarRun]]:
@@ -191,13 +209,20 @@ def replay_stream(
     local_pref: int = 100,
     backup_session: bool = True,
     collect_events: bool = False,
+    column_native: bool = True,
 ) -> MonthReplayResult:
     """Replay one session's columnar stream through a router.
 
     ``rib`` is the session's pre-trace Adj-RIB-In snapshot (prefix -> AS
     path).  Stream recording is switched off on the replay session — a
     month of messages must not accumulate in memory — which is also what
-    arms the zero-object columnar path in speaker-only mode.
+    arms the zero-object columnar path (speaker *and* inference engines
+    consume the raw columns; no ``BGPMessage`` is built anywhere).
+
+    ``column_native=False`` replays the same chunks through the
+    materialising object path instead (each chunk's runs are expanded into
+    messages and fed to ``receive_batch``) — the comparator the columnar
+    parity matrix and the inference benchmarks measure against.
 
     In SWIFTED mode a second, quiet session (``backup_session``) announces
     a surviving two-hop alternate for every prefix at a lower LOCAL_PREF —
@@ -247,7 +272,9 @@ def replay_stream(
         speaker = router.speaker
         speaker.add_best_route_listener(count_events)
         router.provision()
-        receive = router.receive_columnar
+        receive = router.receive_columnar if column_native else _materialising(
+            router.receive_batch
+        )
     else:
         speaker = BGPSpeaker(local_as)
         speaker.add_peer(peer_as)
@@ -270,7 +297,9 @@ def replay_stream(
             for prefix, path in sorted(rib.items())
         )
         speaker.add_best_route_listener(count_events)
-        receive = speaker.receive_columnar
+        receive = speaker.receive_columnar if column_native else _materialising(
+            speaker.receive_batch
+        )
 
     chunks = 0
     begin = time.perf_counter()
@@ -325,6 +354,7 @@ def run(
     swift_config: Optional[SwiftConfig] = None,
     chunk_messages: int = 50000,
     swifted: bool = True,
+    column_native: bool = True,
 ) -> MonthReplayResult:
     """Replay a (cached) month-long session stream end-to-end.
 
@@ -347,6 +377,7 @@ def run(
         swift_config=swift_config,
         chunk_messages=chunk_messages,
         swifted=swifted,
+        column_native=column_native,
     )
 
 

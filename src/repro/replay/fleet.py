@@ -105,6 +105,7 @@ class _ReplayOptions:
     chunk_messages: int = 50000
     local_pref: int = 100
     backup_session: bool = True
+    column_native: bool = True
 
 
 def _replay_job(job: SessionJob, options: _ReplayOptions) -> MonthReplayResult:
@@ -132,6 +133,7 @@ def _replay_job(job: SessionJob, options: _ReplayOptions) -> MonthReplayResult:
         local_pref=options.local_pref,
         backup_session=options.backup_session,
         collect_events=True,
+        column_native=options.column_native,
     )
 
 
@@ -261,6 +263,7 @@ def replay_jobs(
     local_pref: int = 100,
     backup_session: bool = True,
     mp_context: Optional[str] = None,
+    column_native: bool = True,
 ) -> FleetReplayResult:
     """Replay session jobs, one worker process per session.
 
@@ -272,7 +275,10 @@ def replay_jobs(
     inline through the same worker body, which is the sequential baseline
     the parity tests compare against.  ``mp_context`` picks the
     multiprocessing start method (``"fork"`` where available, else the
-    platform default).
+    platform default).  ``column_native=False`` drives every worker through
+    the materialising object path instead of the column-native one — the
+    comparator of the columnar parity matrix
+    (``tests/test_columnar_inference.py``).
     """
     options = _ReplayOptions(
         local_as=local_as,
@@ -281,6 +287,7 @@ def replay_jobs(
         chunk_messages=chunk_messages,
         local_pref=local_pref,
         backup_session=backup_session,
+        column_native=column_native,
     )
     job_count = len(jobs) if isinstance(jobs, Sequence) else None
     if workers is None:

@@ -883,10 +883,14 @@ class ColumnarMessageView(SequenceABC):
 class ColumnarRun(ColumnarMessageView):
     """A consecutive same-peer window of a columnar trace.
 
-    The unit yielded by :meth:`ColumnarTrace.iter_batches`: iterating it
-    materialises messages lazily (what the inference engines consume), while
-    ``trace``/``start``/``stop`` expose the raw column window so the session
-    layer can apply the run with zero message-object construction.
+    The unit yielded by :meth:`ColumnarTrace.iter_batches`:
+    ``trace``/``start``/``stop`` expose the raw column window (the
+    run-column contract documented in ``src/repro/traces/README.md``) that
+    the session layer (:meth:`~repro.bgp.session.PeeringSession.process_columnar_run`)
+    *and* the inference stack
+    (:meth:`~repro.core.inference.InferenceEngine.process_columnar_run`)
+    apply with zero message-object construction; iterating it still
+    materialises messages lazily for consumers that want objects.
     """
 
     __slots__ = ("start", "stop", "peer_as")

@@ -149,6 +149,95 @@ class TestWindows:
         assert notification.reason == "shutdown"
 
 
+class TestWindowEdgeCases:
+    """`window(t0, t1)` / `slice()` degenerate bounds, in memory and on disk.
+
+    Every case must yield a *well-formed* (possibly empty) trace — rebased
+    bound columns, replayable through `iter_batches()` — rather than a
+    bisect surprise; the on-disk `ColumnarTraceFile` must agree with the
+    in-memory form bound for bound.
+    """
+
+    @pytest.fixture(scope="class")
+    def dup_trace(self):
+        """A small trace with *repeated* timestamps on the boundaries."""
+        from repro.bgp.attributes import ASPath as _ASPath, PathAttributes as _PA
+        from repro.bgp.prefix import Prefix as _Prefix
+
+        trace = ColumnarTrace()
+        prefix = _Prefix.from_string("10.0.0.0/24")
+        attrs = _PA(as_path=_ASPath([2, 5, 6]), next_hop=2)
+        for timestamp in (0.0, 1.0, 1.0, 1.0, 2.0, 3.0, 3.0, 5.0):
+            trace.announce(timestamp, 2, prefix, attrs)
+        for timestamp in (5.0, 6.0):
+            trace.withdraw(timestamp, 2, prefix)
+        return trace
+
+    @pytest.fixture(scope="class")
+    def dup_store(self, dup_trace, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("edge") / "dup.cols")
+        write_trace(path, dup_trace)
+        with ColumnarTraceFile(path) as store:
+            yield store
+
+    @pytest.mark.parametrize(
+        "bounds",
+        [
+            (3.0, 1.0),        # t0 > t1
+            (2.5, 2.5),        # empty window, t0 == t1
+            (1.0, 3.0),        # both boundaries exactly on (repeated) stamps
+            (5.0, 6.0),        # t0 on the UPDATE-kind switchover
+            (100.0, 200.0),    # entirely past the end of the stream
+            (-10.0, -5.0),     # entirely before the start
+            (-10.0, 100.0),    # superset of the stream
+            (6.0, 100.0),      # t0 exactly on the last timestamp
+        ],
+    )
+    def test_degenerate_bounds_match_timestamp_filter(
+        self, dup_trace, dup_store, bounds
+    ):
+        t0, t1 = bounds
+        expected = [m for m in dup_trace.to_messages() if t0 <= m.timestamp < t1]
+        for loaded in (dup_trace.window(t0, t1), dup_store.window(t0, t1)):
+            assert loaded.to_messages() == expected
+            assert loaded.message_count == len(expected)
+            # Well-formed: rebased bounds line up with the per-prefix columns
+            # and the window replays standalone.
+            assert (loaded.wd_end[-1] if len(loaded.wd_end) else 0) == len(
+                loaded.wd_prefix
+            )
+            assert (loaded.ann_end[-1] if len(loaded.ann_end) else 0) == len(
+                loaded.ann_prefix
+            )
+            runs = list(loaded.iter_batches())
+            assert sum(len(run) for run in runs) == len(expected)
+
+    def test_reversed_and_out_of_range_slices(self, dup_trace, dup_store):
+        for start, stop in [(7, 3), (-5, 3), (5, 10 ** 9), (10 ** 6, 10 ** 6 + 5)]:
+            in_memory = dup_trace.slice(start, stop)
+            on_disk = dup_store.slice(start, stop)
+            assert in_memory.to_messages() == on_disk.to_messages()
+
+    def test_empty_trace_windows(self, tmp_path):
+        empty = ColumnarTrace()
+        path = str(tmp_path / "empty.cols")
+        write_trace(path, empty)
+        with ColumnarTraceFile(path) as store:
+            for t0, t1 in [(0.0, 1.0), (1.0, 0.0), (5.0, 5.0)]:
+                assert empty.window(t0, t1).to_messages() == []
+                assert store.window(t0, t1).to_messages() == []
+            assert store.message_count == 0
+
+    def test_empty_window_reads_no_prefix_segments(self, dup_store):
+        dup_store.pool()  # the interning tables are shared by every load
+        before = dup_store.bytes_read
+        loaded = dup_store.window(100.0, 200.0)
+        assert loaded.message_count == 0
+        # Locating and loading an empty window must not materialise any
+        # per-prefix column bytes (the pool may already be cached).
+        assert dup_store.bytes_read - before == 0
+
+
 class TestColumnStore:
     def test_full_load_round_trips(self, tmp_path, trace, messages):
         path = str(tmp_path / "trace.cols")

@@ -10,10 +10,14 @@ rework:
   (including announcement-only traffic) so a later burst neither replays
   them nor backdates its start time.
 
-Plus the parity guarantee of the index rework: the engine emits identical
+Plus the parity guarantee of the index rework — the engine emits identical
 ``InferenceResult`` sequences whether it scores with the incremental
 :class:`~repro.core.fit_score.FitScoreCalculator` overlay or with the
-reference full-scan implementation.
+reference full-scan implementation — and of the column-native ingestion
+path: ``process_columnar_run`` must leave the engine in *exactly* the state
+per-message replay leaves it, including the quiet-time withdrawal buffer
+that ``force_inference`` / ``flush_quiet_state`` act on when called between
+columnar chunks.
 """
 
 import pytest
@@ -26,6 +30,7 @@ from repro.core.fit_score import FitScoreConfig, LinkPrefixIndex
 from repro.core.history import HistoryModel, TriggeringSchedule
 from repro.core.inference import InferenceConfig, InferenceEngine
 from repro.core.reference import ReferenceFitScoreCalculator
+from repro.traces.columnar import ColumnarRun, ColumnarTrace
 
 S6 = prefix_block("60.0.0.0/24", 100)   # origin AS 6, path 2 5 6
 S7 = prefix_block("70.0.0.0/24", 100)   # origin AS 7, path 2 5 6 7
@@ -221,6 +226,49 @@ class TestReferenceParity:
         assert any(not r.accepted for r in incremental.results)
         assert incremental.current_rib() == reference.current_rib()
 
+    def test_columnar_run_parity_with_reference_calculator(self):
+        """The column-native path matches per-message replay for *both*
+        calculator implementations (``record_run`` on each), across run
+        splits that land mid-burst."""
+        config = InferenceConfig(
+            detector=BurstDetectorConfig(
+                window_seconds=10.0, start_threshold=30, stop_threshold=1
+            ),
+            schedule=TriggeringSchedule(
+                steps=((60, 90), (110, 10 ** 6)), unconditional_after=150
+            ),
+        )
+        rib = session_rib()
+        messages = self._parity_stream()
+        trace = ColumnarTrace.from_messages(messages)
+
+        baseline = InferenceEngine(rib, config=config, local_as=1, peer_as=2)
+        baseline_accepted = baseline.process_batch(messages)
+
+        for max_run in (None, 7):
+            columnar = InferenceEngine(rib, config=config, local_as=1, peer_as=2)
+            reference = InferenceEngine(
+                rib,
+                config=config,
+                local_as=1,
+                peer_as=2,
+                calculator_factory=lambda current_rib: ReferenceFitScoreCalculator(
+                    current_rib, config=config.fit_score, local_as=1, peer_as=2
+                ),
+            )
+            columnar_accepted = []
+            reference_accepted = []
+            for run in trace.iter_batches(max_run=max_run):
+                columnar_accepted.extend(columnar.process_columnar_run(run))
+                reference_accepted.extend(reference.process_columnar_run(run))
+            assert columnar.results == baseline.results
+            assert reference.results == baseline.results
+            assert columnar_accepted == baseline_accepted
+            assert reference_accepted == baseline_accepted
+            assert columnar.current_rib() == baseline.current_rib()
+            assert reference.current_rib() == baseline.current_rib()
+            assert columnar.detector.events == baseline.detector.events
+
     def test_calculator_parity_on_shared_queries(self):
         """Spot-check calculator-level queries against the reference."""
         rib = session_rib()
@@ -247,3 +295,197 @@ class TestReferenceParity:
                 links
             )
             assert incremental.score_set(links) == reference.score_set(links)
+
+
+def _single_peer_runs(trace, split_indices):
+    """Cut a single-peer columnar trace into runs at explicit row indices."""
+    peer = trace.msg_peer[0]
+    bounds = [0] + sorted(split_indices) + [len(trace)]
+    return [
+        ColumnarRun(trace, lo, hi, peer)
+        for lo, hi in zip(bounds, bounds[1:])
+        if hi > lo
+    ]
+
+
+class TestMidRunControlCalls:
+    """``force_inference`` / ``flush_quiet_state`` between columnar chunks.
+
+    Both entry points read engine state the stream side maintains — the
+    burst calculator and the quiet-time withdrawal buffer respectively — so
+    a columnar-fed engine must expose *exactly* the state a per-message-fed
+    engine exposes at the same stream position, or replay drivers that
+    re-provision (flush) or probe (force) between chunks diverge.
+    """
+
+    def _engines(self):
+        return (
+            InferenceEngine(session_rib(), config=_config()),
+            InferenceEngine(session_rib(), config=_config()),
+        )
+
+    def test_flush_quiet_state_matches_per_message_path(self):
+        """Announcement-only columnar traffic must age the buffer before a
+        mid-stream ``flush_quiet_state`` folds it into the RIB view."""
+        messages = _withdrawals(S6[:5], start=0.0)
+        # Announcement-only traffic 50 s later: entries must age out on the
+        # columnar path too (the seed bug aged them only on quiet
+        # withdrawals), plus two fresh withdrawals that must survive.
+        messages.append(
+            Update.announce(
+                50.0, 2, S5[0], PathAttributes(as_path=ASPath([2, 5]), next_hop=2)
+            )
+        )
+        messages += _withdrawals(S7[:2], start=52.0)
+        trace = ColumnarTrace.from_messages(messages)
+
+        columnar, per_message = self._engines()
+        for run in _single_peer_runs(trace, [3, 6]):
+            columnar.process_columnar_run(run)
+        for message in messages:
+            per_message.process_message(message)
+
+        assert list(columnar._recent_withdrawals) == list(
+            per_message._recent_withdrawals
+        )
+        assert all(prefix not in columnar.current_rib() for prefix in S6[:5])
+
+        columnar.flush_quiet_state()
+        per_message.flush_quiet_state()
+        assert columnar.current_rib() == per_message.current_rib()
+        assert not columnar._recent_withdrawals
+        # The flushed prefixes left the index too, exactly as per-message.
+        assert columnar.index.prefixes_of_link == per_message.index.prefixes_of_link
+
+    def test_force_inference_mid_columnar_burst_matches_per_message(self):
+        """Probing a burst between two columnar chunks must see the same
+        calculator state (and burst start) as per-message replay."""
+        messages = _withdrawals(S6[:40], start=100.0)
+        trace = ColumnarTrace.from_messages(messages)
+        split = 25
+
+        columnar, per_message = self._engines()
+        first, second = _single_peer_runs(trace, [split])
+        columnar.process_columnar_run(first)
+        for message in messages[:split]:
+            per_message.process_message(message)
+
+        probe_time = messages[split - 1].timestamp + 0.01
+        columnar_probe = columnar.force_inference(probe_time)
+        per_message_probe = per_message.force_inference(probe_time)
+        assert columnar_probe is not None
+        assert columnar_probe == per_message_probe
+        assert columnar.withdrawals_in_current_burst == split
+
+        # The probe must not disturb the rest of the replay either.
+        columnar.process_columnar_run(second)
+        for message in messages[split:]:
+            per_message.process_message(message)
+        assert columnar.results == per_message.results
+        assert columnar.withdrawals_in_current_burst == 40
+
+    def test_flush_quiet_state_still_noop_during_columnar_burst(self):
+        """Mid-burst flush stays a no-op after columnar ingestion."""
+        messages = _withdrawals(S6[:20], start=100.0)
+        trace = ColumnarTrace.from_messages(messages)
+        engine, _ = self._engines()
+        (run,) = _single_peer_runs(trace, [])
+        engine.process_columnar_run(run)
+        assert engine.detector.is_bursting
+        rib_before = engine.current_rib()
+        engine.flush_quiet_state()
+        assert engine.current_rib() == rib_before
+        assert engine.withdrawals_in_current_burst == 20
+
+    def test_buffer_ages_across_chunk_boundaries(self):
+        """A withdrawal buffered in chunk 1 must expire during chunk 2's
+        quiet traffic — even when chunk 2 is announcement-only — so the
+        next burst neither replays it nor backdates its start."""
+        messages = _withdrawals(S5[:2], start=0.0, rate=10.0)
+        messages.append(
+            Update.announce(
+                40.0, 2, S5[5], PathAttributes(as_path=ASPath([2, 5]), next_hop=2)
+            )
+        )
+        messages += _withdrawals(S7[:15], start=100.0)
+        trace = ColumnarTrace.from_messages(messages)
+
+        columnar, per_message = self._engines()
+        for run in _single_peer_runs(trace, [2, 3]):
+            columnar.process_columnar_run(run)
+        for message in messages:
+            per_message.process_message(message)
+
+        assert columnar.results == per_message.results
+        result = columnar.force_inference(100.2)
+        expected = per_message.force_inference(100.2)
+        assert result == expected
+        assert result.burst_start == pytest.approx(100.0)
+        assert result.withdrawals_seen == 15
+
+
+class TestTriggerRowWithAnnouncements:
+    """Regression: a trigger-crossing UPDATE carrying announcements.
+
+    ``process_message`` runs the trigger check in the withdrawal branch and
+    applies the *same message's* announcements afterwards, so an
+    announcement clearing an already-withdrawn prefix on the trigger row
+    must not be visible to that inference.  The columnar burst span used to
+    bulk-record the whole row (withdrawals and announcements) before
+    inferring, which shrank the already-withdrawn set.
+    """
+
+    def _stream(self):
+        messages = _withdrawals(S6[:30], start=100.0)
+        # The 30th message crosses the trigger (trigger=30); give it an
+        # announcement re-announcing an already-withdrawn prefix too.
+        trigger_row = Update(
+            timestamp=100.031,
+            peer_as=2,
+            announcements=(
+                Update.announce(
+                    100.031, 2, S6[0],
+                    PathAttributes(as_path=ASPath([2, 3, 6]), next_hop=2),
+                ).announcements[0],
+            ),
+            withdrawals=(S6[30],),
+        )
+        messages.append(trigger_row)
+        messages += _withdrawals(S6[31:40], start=100.04)
+        return messages
+
+    def test_columnar_matches_per_message_on_mixed_trigger_row(self):
+        config = _config(start_threshold=10, trigger=31)
+        messages = self._stream()
+        trace = ColumnarTrace.from_messages(messages)
+
+        per_message = InferenceEngine(session_rib(), config=config)
+        per_message.process_batch(messages)
+
+        for max_run in (None, 5):
+            columnar = InferenceEngine(session_rib(), config=config)
+            for run in trace.iter_batches(max_run=max_run):
+                columnar.process_columnar_run(run)
+            assert columnar.results == per_message.results
+            assert columnar.results, "the stream must cross the trigger"
+            assert columnar.current_rib() == per_message.current_rib()
+
+
+class TestRecordRunWindows:
+    """`record_run` row-window edges (it is a public, duck-typed API)."""
+
+    def test_empty_window_records_nothing(self):
+        from repro.core.fit_score import FitScoreCalculator
+
+        trace = ColumnarTrace()
+        for index, prefix in enumerate(S6[:10]):
+            trace.withdraw(float(index), 2, prefix)
+        (run,) = trace.iter_batches()
+        for calculator_class in (FitScoreCalculator, ReferenceFitScoreCalculator):
+            calculator = calculator_class(session_rib())
+            assert calculator.record_run(run, 0, 0) == 0
+            assert calculator.record_run(run, 5, 5) == 0
+            assert calculator.record_run(run, 5, 3) == 0
+            assert calculator.total_withdrawals == 0
+            assert calculator.record_run(run) == 10
+            assert calculator.total_withdrawals == 10
