@@ -18,8 +18,37 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+from repro.core import kernels  # noqa: E402
 from repro.experiments import cached_corpus  # noqa: E402
 from repro.traces.synthetic import SyntheticTraceConfig, cached_trace  # noqa: E402
+
+
+def available_cpus() -> int:
+    """CPUs actually usable by this process (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine, not the cgroup/affinity mask a
+    CI job or container actually granted; benchmark payloads must record the
+    latter or the recorded ``cpus`` field overstates the run environment.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0)) or 1
+    return os.cpu_count() or 1
+
+
+def bench_env(kernel_backend=None):
+    """Environment fields merged into every ``BENCH_*.json`` payload.
+
+    Records the affinity-aware CPU count, the kernel backend the run
+    resolved to (the default-selection result when ``kernel_backend`` is
+    None — exactly what the benchmarked code picked), and the numpy
+    version (``"absent"`` when not importable), so recorded numbers can
+    be compared across environments.
+    """
+    return {
+        "cpus": available_cpus(),
+        "kernel_backend": kernels.get_backend(kernel_backend).NAME,
+        "numpy_version": kernels.numpy_version(),
+    }
 
 
 @pytest.fixture(scope="session")

@@ -32,6 +32,8 @@ from contextlib import contextmanager
 
 import pytest
 
+from conftest import bench_env
+
 from repro.bgp.attributes import ASPath, PathAttributes
 from repro.bgp.messages import Update
 from repro.bgp.prefix import prefix_block
@@ -162,6 +164,7 @@ def test_bench_trace_reload_columnar_vs_pickle():
             "peers": config.peer_count,
             "duration_days": config.duration_days,
             "burst_messages": message_count,
+            **bench_env(),
             "object_pickle_seconds": round(object_seconds, 3),
             "columnar_seconds": round(columnar_seconds, 3),
             "object_bytes": object_bytes,
@@ -192,6 +195,7 @@ def test_bench_month_trace_reload(month_trace):
         {
             "peers": len(month_trace.peers),
             "burst_messages": message_count,
+            **bench_env(),
             "object_pickle_seconds": round(object_seconds, 2),
             "columnar_seconds": round(columnar_seconds, 2),
             "object_bytes": object_bytes,
@@ -256,6 +260,7 @@ def test_bench_cold_provision_grouped_backups():
         {
             "prefixes": len(s6),
             "sessions": 3,
+            **bench_env(),
             "grouped_seconds": round(grouped_seconds, 3),
             "reference_seconds": round(reference_seconds, 3),
             "speedup": round(speedup, 1),
@@ -355,6 +360,7 @@ def test_bench_month_replay_slice_cold_start():
         "month_replay.cold_speaker_slice",
         {
             "messages": stream.message_count,
+            **bench_env(),
             "object_seconds": round(object_seconds, 3),
             "columnar_seconds": round(columnar_seconds, 3),
             "speedup": round(speedup, 2),
@@ -389,6 +395,7 @@ def test_bench_month_replay_slice_swifted():
             "reroutes": result.reroutes,
             "losses": result.losses,
             "recoveries": result.recoveries,
+            **bench_env(),
             "wall_seconds": round(result.wall_seconds, 2),
             "messages_per_second": int(result.messages_per_second),
         },

@@ -30,6 +30,8 @@ from contextlib import contextmanager
 
 import pytest
 
+from conftest import available_cpus, bench_env
+
 from repro.core.history import TriggeringSchedule
 from repro.core.inference import InferenceConfig
 from repro.core.swifted_router import SwiftConfig
@@ -101,12 +103,6 @@ def _best_seconds(fn, runs=3):
     return best
 
 
-def _available_cpus() -> int:
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
-
-
 @pytest.mark.slow
 def test_bench_fleet_vs_sequential_replay():
     """4 workers vs sequential over the 4-session corpus; parity asserted."""
@@ -119,14 +115,14 @@ def test_bench_fleet_vs_sequential_replay():
     assert pickle.dumps(fleet.signature()) == pickle.dumps(sequential.signature()), (
         "fleet aggregation must be byte-identical to sequential replay"
     )
-    cpus = _available_cpus()
+    cpus = available_cpus()
     speedup = sequential.wall_seconds / fleet.wall_seconds
     _record(
         "fleet.swifted_4_workers",
         {
             "sessions": fleet.session_count,
             "workers": fleet.workers,
-            "cpus": cpus,
+            **bench_env(),
             "messages": fleet.message_count,
             "reroutes": fleet.reroutes,
             "losses": fleet.losses,
@@ -206,6 +202,7 @@ def test_bench_mmap_reload_vs_pickle():
         {
             "messages": stream.message_count,
             "trace_days": round((last - first) / day, 1),
+            **bench_env(),
             "pickle_seconds": round(pickle_seconds, 4),
             "mmap_seconds": round(mmap_seconds, 4),
             "speedup": round(speedup, 2),

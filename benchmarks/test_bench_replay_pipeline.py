@@ -26,6 +26,8 @@ from contextlib import contextmanager
 
 import pytest
 
+from conftest import bench_env
+
 from repro.bgp.attributes import ASPath, PathAttributes
 from repro.bgp.messages import Update
 from repro.bgp.prefix import prefix_block
@@ -169,6 +171,7 @@ def test_bench_batched_speaker_exploration_burst():
         {
             "messages": len(messages),
             "peers": len(PEERS),
+            **bench_env(),
             "per_message_seconds": round(per_message_seconds, 4),
             "batched_seconds": round(batched_seconds, 4),
             "speedup": round(speedup, 2),
@@ -192,6 +195,7 @@ def test_bench_batched_speaker_withdrawal_burst():
         {
             "messages": len(messages),
             "peers": len(PEERS),
+            **bench_env(),
             "per_message_seconds": round(per_message_seconds, 4),
             "batched_seconds": round(batched_seconds, 4),
             "speedup": round(speedup, 2),
@@ -263,6 +267,7 @@ def test_bench_warm_vs_cold_provision():
             "prefixes": len(s6),
             "sessions": 3,
             "churned_prefixes": 200,
+            **bench_env(),
             "cold_initial_seconds": round(cold_initial, 3),
             "cold_rebuild_seconds": round(cold_rebuild, 3),
             "warm_delta_seconds": round(warm_delta, 4),
@@ -335,6 +340,7 @@ def test_bench_trace_memoisation():
         "trace_memoisation.corpus",
         {
             "bursts": len(generated),
+            **bench_env(),
             "generate_seconds": round(generate_seconds, 2),
             "reload_seconds": round(reload_seconds, 2),
             "speedup": round(speedup, 1),

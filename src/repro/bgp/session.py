@@ -372,7 +372,7 @@ class PeeringSession:
         for observer in self._change_observers:
             observer(self, flat)
 
-    def process_columnar_run(self, run) -> List[List[RouteChange]]:
+    def process_columnar_run(self, run, kernel=None) -> List[List[RouteChange]]:
         """Apply a same-peer :class:`~repro.traces.columnar.ColumnarRun`.
 
         The fast path walks the run's raw columns — timestamps, withdrawal /
@@ -389,10 +389,18 @@ class PeeringSession:
 
         ``run`` is duck-typed (no import of the traces layer): it must carry
         ``trace``/``start``/``stop`` plus a ``materialise()`` fallback, the
-        interface documented in :mod:`repro.traces.columnar`.
+        interface documented in :mod:`repro.traces.columnar`.  With a
+        vectorised ``kernel`` (:mod:`repro.core.kernels`; ``None``
+        auto-selects) the rows needing per-row work — non-UPDATE rows and
+        rows carrying prefixes — are located by one kernel pass and the
+        rest contribute empty change lists without being visited.
         """
         if self._observers or self.record_stream:
             return self.process_batch(run.materialise())
+        if kernel is None:
+            from repro.core import kernels
+
+            kernel = kernels.default_backend()
         trace = run.trace
         pool = trace.pool
         prefix_at = pool.prefix_at
@@ -422,37 +430,85 @@ class PeeringSession:
         w = wd_end[start - 1] if start else 0
         a = ann_end[start - 1] if start else 0
         rib_in.begin_bulk()
-        for index in range(start, stop):
-            count += 1
-            timestamp = msg_time[index]
-            last_at = timestamp
-            kind = msg_kind[index]
-            if kind != 0:
-                if kind == 1:
-                    self.state = SessionState.ESTABLISHED
-                elif kind == 3:
-                    self.state = SessionState.CLOSED
-                    rib_in.clear()
-                    stats.session_resets += 1
-                append_result([])
-                continue
-            changes: List[RouteChange] = []
-            changes_append = changes.append
-            w_high = wd_end[index]
-            while w < w_high:
-                changes_append(rib_withdraw(prefix_at(wd_prefix[w]), timestamp))
-                w += 1
-                withdrawals += 1
-            a_high = ann_end[index]
-            while a < a_high:
-                changes_append(
-                    rib_announce(
-                        prefix_at(ann_prefix[a]), attributes_at(ann_attr[a]), timestamp
+        if kernel.VECTORISED:
+            # Sparse walk: rows that are UPDATEs without prefixes only
+            # contribute an empty change list and a timestamp — the column
+            # totals and the run's last row give both without a visit.
+            extend_result = per_message.extend
+            position = start
+            for index in kernel.interesting_rows(
+                msg_kind, wd_end, ann_end, start, stop
+            ):
+                if index > position:
+                    extend_result([] for _ in range(index - position))
+                position = index + 1
+                timestamp = msg_time[index]
+                kind = msg_kind[index]
+                if kind != 0:
+                    if kind == 1:
+                        self.state = SessionState.ESTABLISHED
+                    elif kind == 3:
+                        self.state = SessionState.CLOSED
+                        rib_in.clear()
+                        stats.session_resets += 1
+                    append_result([])
+                    w = wd_end[index]
+                    a = ann_end[index]
+                    continue
+                changes: List[RouteChange] = []
+                changes_append = changes.append
+                w_high = wd_end[index]
+                while w < w_high:
+                    changes_append(rib_withdraw(prefix_at(wd_prefix[w]), timestamp))
+                    w += 1
+                    withdrawals += 1
+                a_high = ann_end[index]
+                while a < a_high:
+                    changes_append(
+                        rib_announce(
+                            prefix_at(ann_prefix[a]), attributes_at(ann_attr[a]), timestamp
+                        )
                     )
-                )
-                a += 1
-                announcements += 1
-            append_result(changes)
+                    a += 1
+                    announcements += 1
+                append_result(changes)
+            if stop > position:
+                extend_result([] for _ in range(stop - position))
+            count = stop - start
+            if count:
+                last_at = msg_time[stop - 1]
+        else:
+            for index in range(start, stop):
+                count += 1
+                timestamp = msg_time[index]
+                last_at = timestamp
+                kind = msg_kind[index]
+                if kind != 0:
+                    if kind == 1:
+                        self.state = SessionState.ESTABLISHED
+                    elif kind == 3:
+                        self.state = SessionState.CLOSED
+                        rib_in.clear()
+                        stats.session_resets += 1
+                    append_result([])
+                    continue
+                changes: List[RouteChange] = []
+                changes_append = changes.append
+                w_high = wd_end[index]
+                while w < w_high:
+                    changes_append(rib_withdraw(prefix_at(wd_prefix[w]), timestamp))
+                    w += 1
+                    withdrawals += 1
+                a_high = ann_end[index]
+                while a < a_high:
+                    changes_append(
+                        rib_announce(
+                            prefix_at(ann_prefix[a]), attributes_at(ann_attr[a]), timestamp
+                        )
+                    )
+                    a += 1
+                    announcements += 1
+                append_result(changes)
         rib_in.end_bulk()
         stats.messages_received += count
         stats.withdrawals_received += withdrawals

@@ -214,7 +214,7 @@ class BGPSpeaker:
         """
         return self.receive_batch(messages)
 
-    def receive_columnar(self, source) -> List[BestRouteChange]:
+    def receive_columnar(self, source, kernel=None) -> List[BestRouteChange]:
         """Process a columnar trace (or an iterable of columnar runs).
 
         The preferred replay entry point for array-backed traces: each
@@ -227,13 +227,20 @@ class BGPSpeaker:
 
         ``source`` is either an object exposing ``iter_batches()`` (a
         :class:`~repro.traces.columnar.ColumnarTrace`) or an iterable of
-        :class:`~repro.traces.columnar.ColumnarRun` views.
+        :class:`~repro.traces.columnar.ColumnarRun` views.  ``kernel``
+        selects the column-kernel backend (:mod:`repro.core.kernels`) for
+        run segmentation and the session-level column walks; ``None``
+        auto-selects.
         """
+        if kernel is None:
+            from repro.core import kernels
+
+            kernel = kernels.default_backend()
         iter_batches = getattr(source, "iter_batches", None)
-        runs = iter_batches() if iter_batches is not None else source
+        runs = iter_batches(kernel=kernel) if iter_batches is not None else source
         batch = self.begin_batch()
         for run in runs:
-            batch.add_columnar_run(run)
+            batch.add_columnar_run(run, kernel=kernel)
         return batch.commit()
 
     # -- queries ----------------------------------------------------------
@@ -393,16 +400,17 @@ class SpeakerBatch:
         session = self._session_for(peer_as)
         self._absorb(peer_as, session.process_batch(messages))
 
-    def add_columnar_run(self, run) -> None:
+    def add_columnar_run(self, run, kernel=None) -> None:
         """Apply a same-peer columnar run (no message objects on the fast path).
 
         ``run`` is a :class:`~repro.traces.columnar.ColumnarRun` (duck-typed:
         anything carrying ``peer_as`` and accepted by
         :meth:`~repro.bgp.session.PeeringSession.process_columnar_run`).
-        Equivalent to ``add_run(run.peer_as, run.materialise())``.
+        Equivalent to ``add_run(run.peer_as, run.materialise())``; ``kernel``
+        is forwarded to the session's column walk.
         """
         session = self._session_for(run.peer_as)
-        self._absorb(run.peer_as, session.process_columnar_run(run))
+        self._absorb(run.peer_as, session.process_columnar_run(run, kernel=kernel))
 
     def _session_for(self, peer_as: Optional[int]):
         if self._committed:
@@ -444,6 +452,8 @@ class SpeakerBatch:
             return False
 
         for changes in per_message_changes:
+            if not changes:
+                continue
             if len(changes) == 1:
                 change = changes[0]
                 if change.kind is unchanged:

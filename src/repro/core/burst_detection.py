@@ -15,11 +15,12 @@ uses the lower stop threshold of §2.2.1 so that the two detection paths
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
 from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.core import kernels
 
 __all__ = ["BurstDetector", "BurstDetectorConfig", "BurstEvent", "BurstState"]
 
@@ -68,8 +69,13 @@ class BurstDetectorConfig:
 class BurstDetector:
     """Sliding-window withdrawal-rate detector."""
 
-    def __init__(self, config: Optional[BurstDetectorConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[BurstDetectorConfig] = None,
+        kernel=None,
+    ) -> None:
         self.config = config or BurstDetectorConfig()
+        self._kernel = kernel if kernel is not None else kernels.default_backend()
         self._window: Deque[Tuple[float, int]] = deque()
         self._in_window = 0
         self.state = BurstState.QUIET
@@ -92,7 +98,7 @@ class BurstDetector:
         self._expire(timestamp)
         return self._transition(timestamp)
 
-    def observe_run(self, run) -> List[Tuple[int, BurstEvent]]:
+    def observe_run(self, run, kernel=None) -> List[Tuple[int, BurstEvent]]:
         """Feed a columnar run; return ``(message index, event)`` transitions.
 
         Equivalent to calling :meth:`observe_withdrawals` for every UPDATE
@@ -111,75 +117,37 @@ class BurstDetector:
         :mod:`repro.traces.columnar`.  The detector's state (sliding window,
         ``events`` log, ``current_burst_start``) ends up exactly as after
         the per-message calls.
+
+        The scan itself is a kernel
+        (:func:`repro.core.kernels.stdlib.detector_scan` and its vectorised
+        numpy twin): the kernel walks the raw columns and reports the
+        transitions plus the final window state; this method folds them
+        back into detector state and :class:`BurstEvent` objects.  An
+        explicit ``kernel`` overrides the backend picked at construction.
         """
         trace = run.trace
-        times = trace.msg_time
-        kinds = trace.msg_kind
-        wd_end = trace.wd_end
-        start, stop = run.start, run.stop
+        config = self.config
+        backend = kernel if kernel is not None else self._kernel
+        transitions, self._in_window, bursting = backend.detector_scan(
+            trace.msg_time,
+            trace.msg_kind,
+            trace.wd_end,
+            run.start,
+            run.stop,
+            self._window,
+            self._in_window,
+            self.state is BurstState.BURSTING,
+            config.window_seconds,
+            config.start_threshold,
+            config.stop_threshold,
+        )
         events: List[Tuple[int, BurstEvent]] = []
-        observe_withdrawals = self.observe_withdrawals
-        window = self._window
-        window_append = window.append
-        window_pop = window.popleft
-        window_seconds = self.config.window_seconds
-        stop_threshold = self.config.stop_threshold
-        events_log_append = self.events.append
-        index = start
-        cursor = wd_end[start - 1] if start else 0
-        while index < stop:
-            if self.state is BurstState.QUIET:
-                # Skip straight to the next withdrawal-bearing row.  Rows in
-                # between only expire window entries, which the bisect makes
-                # implicit: expiry is monotone in the timestamp, so deferring
-                # it to the next observation leaves identical window state.
-                row = bisect_right(wd_end, cursor, index, stop)
-                if row >= stop:
-                    # Trailing quiet rows: expire through the last UPDATE
-                    # timestamp so the window state matches the per-message
-                    # path at the run boundary.
-                    if window:
-                        last = stop - 1
-                        while last >= index and kinds[last] != 0:
-                            last -= 1
-                        if last >= index:
-                            self._expire(times[last])
-                    break
-                event = observe_withdrawals(times[row], wd_end[row] - cursor)
-                cursor = wd_end[row]
-                if event is not None:
-                    events.append((row, event))
-                index = row + 1
-            else:
-                # Bursting: per-row window arithmetic, inlined — the end
-                # transition may fire on any UPDATE row, so every row is
-                # observed, but without per-row method dispatch.
-                in_window = self._in_window
-                while index < stop:
-                    high = wd_end[index]
-                    if kinds[index] != 0:
-                        cursor = high
-                        index += 1
-                        continue
-                    timestamp = times[index]
-                    if high > cursor:
-                        window_append((timestamp, high - cursor))
-                        in_window += high - cursor
-                    horizon = timestamp - window_seconds
-                    while window and window[0][0] < horizon:
-                        in_window -= window_pop()[1]
-                    cursor = high
-                    index += 1
-                    if in_window <= stop_threshold:
-                        self._in_window = in_window
-                        self.state = BurstState.QUIET
-                        self.current_burst_start = None
-                        event = BurstEvent("end", timestamp, in_window)
-                        events_log_append(event)
-                        events.append((index - 1, event))
-                        break
-                else:
-                    self._in_window = in_window
+        for row, kind, timestamp, count, burst_start in transitions:
+            event = BurstEvent(kind, timestamp, count)
+            self.events.append(event)
+            events.append((row, event))
+            self.current_burst_start = burst_start if kind == "start" else None
+        self.state = BurstState.BURSTING if bursting else BurstState.QUIET
         return events
 
     # -- queries ------------------------------------------------------------

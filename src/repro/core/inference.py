@@ -32,7 +32,6 @@ experiment drivers prefer to amortise per-message Python overhead.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
@@ -40,6 +39,7 @@ from typing import Callable, Deque, Dict, FrozenSet, Iterable, List, Mapping, Op
 from repro.bgp.attributes import ASPath
 from repro.bgp.messages import BGPMessage, Update
 from repro.bgp.prefix import Prefix
+from repro.core import kernels
 from repro.core.burst_detection import BurstDetector, BurstDetectorConfig
 from repro.core.fit_score import FitScoreCalculator, FitScoreConfig, LinkPrefixIndex, LinkScore
 from repro.core.history import HistoryModel, TriggeringSchedule
@@ -62,7 +62,14 @@ CalculatorFactory = Callable[[Mapping[Prefix, ASPath]], FitScoreCalculator]
 
 @dataclass(frozen=True)
 class InferenceConfig:
-    """All the knobs of the inference algorithm (paper defaults)."""
+    """All the knobs of the inference algorithm (paper defaults).
+
+    ``kernel_backend`` selects the column-kernel backend for the engine's
+    hot loops (see :mod:`repro.core.kernels`): ``None`` auto-selects (numpy
+    when importable, the stdlib reference otherwise), ``"stdlib"`` /
+    ``"numpy"`` force one.  The backend never changes results — only how
+    the columns are walked.
+    """
 
     fit_score: FitScoreConfig = field(default_factory=FitScoreConfig)
     detector: BurstDetectorConfig = field(default_factory=BurstDetectorConfig)
@@ -70,6 +77,7 @@ class InferenceConfig:
     use_history: bool = True
     max_aggregation_rounds: int = 8
     score_tolerance: float = 1e-9
+    kernel_backend: Optional[str] = None
 
     @classmethod
     def without_history(cls) -> "InferenceConfig":
@@ -178,7 +186,8 @@ class InferenceEngine:
         self._peer_as = peer_as
         self._index = LinkPrefixIndex(self._rib, local_as=local_as, peer_as=peer_as)
         self._calculator_factory = calculator_factory
-        self.detector = BurstDetector(self.config.detector)
+        self._kernel = kernels.get_backend(self.config.kernel_backend)
+        self.detector = BurstDetector(self.config.detector, kernel=self._kernel)
         self._calculator: Optional[FitScoreCalculator] = None
         self._calculator_shares_index = False
         self._burst_start: Optional[float] = None
@@ -510,6 +519,43 @@ class InferenceEngine:
         remove_prefix = self._index.remove_prefix
         window_seconds = self.config.detector.window_seconds
         last_wd = wd_end[hi - 1]
+        kernel = self._kernel
+        if kernel.VECTORISED:
+            # Sparse walk: one kernel pass locates the rows carrying
+            # prefixes (the only rows with per-row work); intermediate
+            # UPDATE rows only age the buffer, and expiry is monotone in
+            # the timestamp, so deferring it to the next event row — and,
+            # for trailing rows, to the span's last UPDATE row — leaves
+            # identical buffer / RIB / index state at every point the
+            # per-row loop could observe it.
+            for row in kernel.event_rows(kinds, wd_end, ann_end, lo, hi):
+                timestamp = times[row]
+                if buffered:
+                    horizon = timestamp - window_seconds
+                    while buffered and buffered[0][0] < horizon:
+                        _, prefix = buffered_pop()
+                        rib_pop(prefix, None)
+                        remove_prefix(prefix)
+                w_high = wd_end[row]
+                a_high = ann_end[row]
+                while w < w_high:
+                    buffered_append((timestamp, prefix_at(wd_prefix[w])))
+                    w += 1
+                while a < a_high:
+                    prefix = prefix_at(ann_prefix[a])
+                    path = path_at(attr_path[ann_attr[a]])
+                    set_path(prefix, path)
+                    rib[prefix] = path
+                    a += 1
+            if buffered:
+                last = kernel.last_update_row(kinds, lo, hi)
+                if last is not None:
+                    horizon = times[last] - window_seconds
+                    while buffered and buffered[0][0] < horizon:
+                        _, prefix = buffered_pop()
+                        rib_pop(prefix, None)
+                        remove_prefix(prefix)
+            return
         for row in range(lo, hi):
             w_high = wd_end[row]
             a_high = ann_end[row]
@@ -557,10 +603,11 @@ class InferenceEngine:
         schedule is exhausted) the rest of the span records in one call.
         """
         trace = run.trace
+        pool = trace.pool
         wd_end = trace.wd_end
         ann_end = trace.ann_end
         times = trace.msg_time
-        prefix_at = trace.pool.prefix_at
+        kernel = self._kernel
         position = lo
         while position < hi:
             if self._accepted_result is not None or self._next_trigger is None:
@@ -569,12 +616,12 @@ class InferenceEngine:
             base = wd_end[position - 1] if position else 0
             needed = self._next_trigger - self._withdrawals_in_burst
             if needed > 0:
-                row = bisect_left(wd_end, base + needed, position, hi)
+                row = kernel.find_crossing(wd_end, base + needed, position, hi)
             else:
                 # Defensive: the schedule guarantees needed > 0 after every
                 # inference, but an externally mutated trigger still stops
                 # at the next withdrawal-bearing row, as per-message would.
-                row = bisect_right(wd_end, base, position, hi)
+                row = kernel.next_positive_row(wd_end, base, position, hi)
             if row >= hi:
                 self._withdrawals_in_burst += self._record_span(run, position, hi)
                 return
@@ -586,9 +633,15 @@ class InferenceEngine:
             # the trigger row must not be visible to the inference.
             self._withdrawals_in_burst += self._record_span(run, position, row)
             w_low = wd_end[row - 1] if row else 0
-            self._withdrawals_in_burst += self._calculator.record_withdrawals(
-                [prefix_at(trace.wd_prefix[i]) for i in range(w_low, wd_end[row])]
-            )
+            record_rows = getattr(self._calculator, "record_withdrawal_rows", None)
+            if record_rows is not None:
+                self._withdrawals_in_burst += record_rows(
+                    pool, trace.wd_prefix, w_low, wd_end[row]
+                )
+            else:
+                self._withdrawals_in_burst += self._calculator.record_withdrawals(
+                    pool.prefixes_at(trace.wd_prefix[w_low : wd_end[row]])
+                )
             result = self._maybe_infer(times[row])
             if result is not None:
                 accepted.append(result)
@@ -652,10 +705,17 @@ class InferenceEngine:
         if event.kind == "start":
             self._start_burst(event.timestamp)
             if w_high > w_low:
-                wd_prefix = trace.wd_prefix
-                self._withdrawals_in_burst += self._calculator.record_withdrawals(
-                    [prefix_at(wd_prefix[index]) for index in range(w_low, w_high)]
+                record_rows = getattr(
+                    self._calculator, "record_withdrawal_rows", None
                 )
+                if record_rows is not None:
+                    self._withdrawals_in_burst += record_rows(
+                        trace.pool, trace.wd_prefix, w_low, w_high
+                    )
+                else:
+                    self._withdrawals_in_burst += self._calculator.record_withdrawals(
+                        trace.pool.prefixes_at(trace.wd_prefix[w_low:w_high])
+                    )
                 result = self._maybe_infer(timestamp)
                 if result is not None:
                     accepted.append(result)
@@ -679,7 +739,7 @@ class InferenceEngine:
         else:
             # O(1): overlay the live index instead of rescanning the RIB.
             self._calculator = FitScoreCalculator.from_index(
-                self._index, config=self.config.fit_score
+                self._index, config=self.config.fit_score, kernel=self._kernel
             )
             self._calculator_shares_index = True
         self._burst_start = (
@@ -731,9 +791,15 @@ class InferenceEngine:
 
         inferred_links, best_scores = self._aggregate(calculator, scores)
         predicted = calculator.prefixes_via_links(inferred_links)
+        withdrawn_within = getattr(calculator, "withdrawn_within", None)
+        already_withdrawn = (
+            withdrawn_within(predicted)
+            if withdrawn_within is not None
+            else calculator.withdrawn_prefixes & predicted
+        )
         prediction = PrefixPrediction(
             predicted_prefixes=predicted,
-            already_withdrawn=calculator.withdrawn_prefixes & predicted,
+            already_withdrawn=already_withdrawn,
         )
 
         accepted = accept_always or self._accept(prediction)

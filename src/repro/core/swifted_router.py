@@ -47,6 +47,7 @@ from repro.bgp.messages import BGPMessage, Update
 from repro.bgp.prefix import Prefix
 from repro.bgp.rib import RibEntry, RouteChange, RouteChangeKind
 from repro.bgp.speaker import BestRouteChange, BGPSpeaker
+from repro.core import kernels
 from repro.core.backup import BackupComputer, BackupSelection, ReroutingPolicy
 from repro.core.encoding import EncodedTags, EncoderConfig, TagEncoder, WildcardRule
 from repro.core.history import HistoryModel
@@ -459,7 +460,7 @@ class SwiftedRouter:
         """Process a stream of messages; returns every reroute action."""
         return self.receive_batch(messages)
 
-    def receive_columnar(self, source) -> List[RerouteAction]:
+    def receive_columnar(self, source, kernel=None) -> List[RerouteAction]:
         """Process a columnar trace (or iterable of columnar runs).
 
         Mirrors :meth:`receive_batch` over the materialised stream — same
@@ -474,17 +475,24 @@ class SwiftedRouter:
         With stream recording off — the replay default — no
         :class:`~repro.bgp.messages.BGPMessage` is constructed anywhere on
         this path.
+
+        ``kernel`` overrides the column-kernel backend for run segmentation
+        and the speaker-side column walks; ``None`` defers to the engines'
+        configured backend (:attr:`InferenceConfig.kernel_backend`), so the
+        whole path honours one selection.
         """
         if not self._provisioned:
             raise RuntimeError("provision() must be called before receiving updates")
+        if kernel is None:
+            kernel = kernels.get_backend(self.config.inference.kernel_backend)
         iter_batches = getattr(source, "iter_batches", None)
-        runs = iter_batches() if iter_batches is not None else source
+        runs = iter_batches(kernel=kernel) if iter_batches is not None else source
         actions: List[RerouteAction] = []
         batch = self.speaker.begin_batch()
         self._feeding_engines = True
         try:
             for run in runs:
-                batch.add_columnar_run(run)
+                batch.add_columnar_run(run, kernel=kernel)
                 engine = self._engines.get(run.peer_as)
                 if engine is None:
                     continue

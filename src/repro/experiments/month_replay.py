@@ -38,10 +38,11 @@ from __future__ import annotations
 
 import time
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator, List, Optional, Tuple
 
 from repro.bgp.speaker import BGPSpeaker
+from repro.core import kernels
 from repro.core.swifted_router import SwiftConfig, SwiftedRouter
 from repro.metrics.tables import format_table
 from repro.traces.columnar import ColumnarRun, ColumnarTrace
@@ -147,12 +148,12 @@ def _materialising(receive_batch):
 
 
 def _chunked_runs(
-    stream: ColumnarTrace, chunk_messages: int
+    stream: ColumnarTrace, chunk_messages: int, kernel=None
 ) -> Iterator[List[ColumnarRun]]:
     """Group the stream's same-peer runs into ~chunk_messages-sized chunks."""
     chunk: List[ColumnarRun] = []
     pending = 0
-    for run in stream.iter_batches(max_run=chunk_messages):
+    for run in stream.iter_batches(max_run=chunk_messages, kernel=kernel):
         chunk.append(run)
         pending += len(run)
         if pending >= chunk_messages:
@@ -210,6 +211,7 @@ def replay_stream(
     backup_session: bool = True,
     collect_events: bool = False,
     column_native: bool = True,
+    kernel_backend: Optional[str] = None,
 ) -> MonthReplayResult:
     """Replay one session's columnar stream through a router.
 
@@ -234,7 +236,16 @@ def replay_stream(
     loss / recovery / reroute multisets (see
     :class:`MonthReplayResult`), which is what the fleet driver aggregates
     and parity-checks against sequential replay.
+
+    ``kernel_backend`` picks the column-kernel backend
+    (:mod:`repro.core.kernels`) for the whole replay — run segmentation,
+    the speaker's session walks, the engines' detector / fit-score /
+    span kernels.  ``None`` auto-selects (numpy when importable, the
+    stdlib reference otherwise); the backend never changes the result
+    signature.  An explicit choice is injected into the SWIFTED router's
+    inference config so the engines honour the same selection.
     """
+    kernel = kernels.get_backend(kernel_backend)
     losses = 0
     recoveries = 0
     reroutes = 0
@@ -257,6 +268,14 @@ def replay_stream(
                     recovery_counter[(prefix.network, prefix.length)] += 1
 
     if swifted:
+        if kernel_backend is not None:
+            # The engines resolve their backend from InferenceConfig; inject
+            # the explicit choice so one knob steers the whole path.
+            config = swift_config if swift_config is not None else SwiftConfig()
+            swift_config = replace(
+                config,
+                inference=replace(config.inference, kernel_backend=kernel_backend),
+            )
         router = SwiftedRouter(local_as, config=swift_config)
         # Recording off *before* the table loads: neither the initial dump
         # nor the month of replay messages may accumulate in MessageStream.
@@ -272,9 +291,10 @@ def replay_stream(
         speaker = router.speaker
         speaker.add_best_route_listener(count_events)
         router.provision()
-        receive = router.receive_columnar if column_native else _materialising(
-            router.receive_batch
-        )
+        if column_native:
+            receive = lambda chunk: router.receive_columnar(chunk, kernel=kernel)
+        else:
+            receive = _materialising(router.receive_batch)
     else:
         speaker = BGPSpeaker(local_as)
         speaker.add_peer(peer_as)
@@ -297,13 +317,14 @@ def replay_stream(
             for prefix, path in sorted(rib.items())
         )
         speaker.add_best_route_listener(count_events)
-        receive = speaker.receive_columnar if column_native else _materialising(
-            speaker.receive_batch
-        )
+        if column_native:
+            receive = lambda chunk: speaker.receive_columnar(chunk, kernel=kernel)
+        else:
+            receive = _materialising(speaker.receive_batch)
 
     chunks = 0
     begin = time.perf_counter()
-    for chunk in _chunked_runs(stream, chunk_messages):
+    for chunk in _chunked_runs(stream, chunk_messages, kernel=kernel):
         chunks += 1
         result = receive(chunk)
         if swifted:
@@ -355,6 +376,7 @@ def run(
     chunk_messages: int = 50000,
     swifted: bool = True,
     column_native: bool = True,
+    kernel_backend: Optional[str] = None,
 ) -> MonthReplayResult:
     """Replay a (cached) month-long session stream end-to-end.
 
@@ -378,6 +400,7 @@ def run(
         chunk_messages=chunk_messages,
         swifted=swifted,
         column_native=column_native,
+        kernel_backend=kernel_backend,
     )
 
 

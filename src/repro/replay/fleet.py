@@ -106,6 +106,20 @@ class _ReplayOptions:
     local_pref: int = 100
     backup_session: bool = True
     column_native: bool = True
+    kernel_backend: Optional[str] = None
+
+
+def _available_cpus() -> int:
+    """CPUs actually usable by this process (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine; under cgroup/affinity limits
+    (CI runners, containers) ``sched_getaffinity`` is the honest worker
+    budget.  Falls back to ``cpu_count`` where unavailable (macOS).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:
+        return os.cpu_count() or 1
 
 
 def _replay_job(job: SessionJob, options: _ReplayOptions) -> MonthReplayResult:
@@ -134,6 +148,7 @@ def _replay_job(job: SessionJob, options: _ReplayOptions) -> MonthReplayResult:
         backup_session=options.backup_session,
         collect_events=True,
         column_native=options.column_native,
+        kernel_backend=options.kernel_backend,
     )
 
 
@@ -264,21 +279,26 @@ def replay_jobs(
     backup_session: bool = True,
     mp_context: Optional[str] = None,
     column_native: bool = True,
+    kernel_backend: Optional[str] = None,
 ) -> FleetReplayResult:
     """Replay session jobs, one worker process per session.
 
     ``jobs`` may be a lazy iterator (see :func:`iter_session_jobs`): the
     pool driver keeps at most ``2 x workers`` jobs in flight, so the
     corpus's buffers never all sit in the parent at once.  ``workers``
-    defaults to ``min(job count, cpu_count)`` for sequences and
-    ``cpu_count`` for iterators of unknown length; ``workers=1`` replays
-    inline through the same worker body, which is the sequential baseline
-    the parity tests compare against.  ``mp_context`` picks the
-    multiprocessing start method (``"fork"`` where available, else the
-    platform default).  ``column_native=False`` drives every worker through
-    the materialising object path instead of the column-native one — the
-    comparator of the columnar parity matrix
-    (``tests/test_columnar_inference.py``).
+    defaults to ``min(job count, usable cpus)`` for sequences and the
+    usable-cpu count for iterators of unknown length (affinity-aware, see
+    :func:`_available_cpus`); ``workers=1`` replays inline through the same
+    worker body, which is the sequential baseline the parity tests compare
+    against.  ``mp_context`` picks the multiprocessing start method
+    (``"fork"`` where available, else the platform default).
+    ``column_native=False`` drives every worker through the materialising
+    object path instead of the column-native one — the comparator of the
+    columnar parity matrix (``tests/test_columnar_inference.py``).
+    ``kernel_backend`` selects the column-kernel backend in every worker
+    (``None`` auto-selects: numpy when importable, stdlib otherwise; see
+    :mod:`repro.core.kernels`) — backends never change the result
+    signature, only replay speed.
     """
     options = _ReplayOptions(
         local_as=local_as,
@@ -288,10 +308,11 @@ def replay_jobs(
         local_pref=local_pref,
         backup_session=backup_session,
         column_native=column_native,
+        kernel_backend=kernel_backend,
     )
     job_count = len(jobs) if isinstance(jobs, Sequence) else None
     if workers is None:
-        workers = os.cpu_count() or 1
+        workers = _available_cpus()
         if job_count is not None:
             workers = min(workers, job_count)
     workers = max(1, workers if job_count is None else min(workers, max(job_count, 1)))

@@ -323,6 +323,39 @@ class InternPool:
             )
         return attributes
 
+    def prefix_id(self, prefix: Prefix) -> Optional[int]:
+        """Table index of an already-interned prefix, ``None`` when unknown.
+
+        The read-side inverse of :meth:`prefix_at`.  Unlike the intern_*
+        writers it refills only the *prefix* map of a restored pool (the
+        path/community/attribute maps stay lazy), so reverse lookups on a
+        replayed trace do not force the whole pool to materialise.
+        """
+        ids = self._prefix_ids
+        if not ids and len(self.prefix_net):
+            prefix_at = self.prefix_at
+            for index in range(len(self.prefix_net)):
+                ids[prefix_at(index)] = index
+        return ids.get(prefix)
+
+    def prefixes_at(self, indices: Sequence[int]) -> List[Prefix]:
+        """Materialise many interned prefixes at once.
+
+        The batched twin of :meth:`prefix_at`: one C-speed gather over the
+        decoded-prefix cache, with a Python fixup only for entries not yet
+        decoded.  This is how the vectorised fit-score fold turns a kernel's
+        row indices back into the interned objects the engine's index keys
+        by — the interning table stays outside the kernel.
+        """
+        cache = self._prefix_cache
+        prefixes = list(map(cache.__getitem__, indices))
+        if None in prefixes:
+            prefix_at = self.prefix_at
+            for position, prefix in enumerate(prefixes):
+                if prefix is None:
+                    prefixes[position] = prefix_at(indices[position])
+        return prefixes
+
     # -- sizes -------------------------------------------------------------
 
     @property
@@ -641,7 +674,7 @@ class ColumnarTrace:
     # -- batched views -----------------------------------------------------
 
     def iter_batches(
-        self, max_run: Optional[int] = None
+        self, max_run: Optional[int] = None, kernel=None
     ) -> Iterator["ColumnarRun"]:
         """Yield consecutive same-peer runs, the batched replay unit.
 
@@ -651,28 +684,40 @@ class ColumnarTrace:
         ``max_run`` caps run length (long single-peer streams are split so
         batch state stays bounded); splitting never reorders messages and
         does not change replay results.
+
+        Run segmentation is a kernel (``run_boundaries``); ``kernel``
+        overrides the auto-selected backend
+        (:func:`repro.core.kernels.default_backend`).
         """
+        if kernel is None:
+            from repro.core import kernels
+
+            kernel = kernels.default_backend()
         peers = self.msg_peer
-        total = len(peers)
-        start = 0
-        while start < total:
-            peer = peers[start]
-            stop = start + 1
-            if max_run is None:
-                while stop < total and peers[stop] == peer:
-                    stop += 1
-            else:
-                limit = min(total, start + max_run)
-                while stop < limit and peers[stop] == peer:
-                    stop += 1
-            yield ColumnarRun(self, start, stop, peer)
-            start = stop
+        for start, stop in kernel.run_boundaries(peers, len(peers), max_run):
+            yield ColumnarRun(self, start, stop, peers[start])
 
     def view(self, indices: Union[range, Sequence[int], None] = None) -> "ColumnarMessageView":
         """A (possibly non-contiguous) lazy message view over the trace."""
         if indices is None:
             indices = range(len(self.msg_time))
         return ColumnarMessageView(self, indices)
+
+    def column_view(self, name: str) -> memoryview:
+        """A zero-copy read-only view of one message column.
+
+        ``name`` is a :data:`TRACE_COLUMNS` column (``msg_time``,
+        ``msg_peer``, ``msg_kind``, ``wd_end``, ``ann_end``, ``wd_prefix``,
+        ``ann_prefix``, ``ann_attr``).  The view shares the column's buffer
+        — kernel backends wrap it (or the column itself) without copying —
+        and therefore **pins** it: hold views only transiently, as appending
+        to an exported column raises ``BufferError``.  This is the
+        sanctioned way for out-of-tree kernels to reach raw column storage;
+        in-tree kernels receive the columns as call arguments instead.
+        """
+        if not any(name == column for column, _ in TRACE_COLUMNS):
+            raise KeyError(f"unknown trace column {name!r}")
+        return memoryview(getattr(self, name)).toreadonly()
 
     # -- pickling ----------------------------------------------------------
 

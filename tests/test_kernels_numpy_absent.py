@@ -1,0 +1,90 @@
+"""numpy stays optional: the whole package must work with numpy absent.
+
+Runs a subprocess whose import machinery refuses ``numpy`` (a meta-path
+hook ahead of every finder — monkeypatching in-process would miss modules
+that already imported it), then imports every module under ``src/repro/``,
+checks the kernel seam auto-selects stdlib, and replays a small corpus.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+pytestmark = pytest.mark.kernels
+
+_SCRIPT = textwrap.dedent(
+    """
+    import importlib
+    import pkgutil
+    import sys
+
+    class _NumpyBlocker:
+        def find_spec(self, name, path=None, target=None):
+            if name == "numpy" or name.startswith("numpy."):
+                raise ImportError("numpy blocked for the optional-dependency test")
+            return None
+
+    sys.meta_path.insert(0, _NumpyBlocker())
+
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        pass
+    else:
+        raise SystemExit("blocker failed: numpy imported")
+
+    # Every module under src/repro/ must import without numpy.
+    import repro
+
+    failures = []
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        try:
+            importlib.import_module(module.name)
+        except ImportError as error:
+            failures.append((module.name, str(error)))
+    if failures:
+        raise SystemExit(f"import failures without numpy: {failures}")
+
+    from repro.core import kernels
+
+    assert kernels.available_backends() == ["stdlib"]
+    assert kernels.default_backend().NAME == "stdlib"
+    assert kernels.numpy_version() == "absent"
+    assert not kernels.default_backend().VECTORISED
+    try:
+        kernels.get_backend("numpy")
+    except RuntimeError:
+        pass
+    else:
+        raise SystemExit("explicit numpy request should raise without numpy")
+
+    # And a small end-to-end replay still runs (stdlib auto-selected).
+    from repro.replay.fleet import build_session_jobs, replay_jobs
+    from repro.traces.synthetic import SyntheticTraceConfig
+
+    config = SyntheticTraceConfig(peer_count=2, duration_days=1.0, seed=7)
+    result = replay_jobs(build_session_jobs(config), workers=1)
+    assert result.session_count == 2
+    assert result.message_count > 0
+    print("numpy-absent replay OK")
+    """
+)
+
+
+def test_package_and_replay_work_without_numpy(tmp_path):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src
+    # Private trace cache: do not touch (or depend on) the repo-level cache.
+    env["REPRO_TRACE_CACHE"] = str(tmp_path / "cache")
+    completed = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr or completed.stdout
+    assert "numpy-absent replay OK" in completed.stdout
