@@ -5,7 +5,9 @@ Replays every session of a synthetic corpus concurrently — one worker
 process per session, streams shipped as raw columnar buffers — and checks
 the aggregate against the sequential baseline, the determinism property the
 fleet driver guarantees.  Also demonstrates a partial (time-window) load of
-a cached month stream straight off the mmap-backed column store.
+a cached month stream straight off the mmap-backed column store, and the
+driver's self-healing: a seeded fault plan crashes one worker's first
+attempt, the retry heals it, and the result stays byte-identical.
 
 Run with:  python examples/fleet_replay.py [workers] [duration_days] [table_size]
 
@@ -20,6 +22,7 @@ import sys
 sys.path.insert(0, "src")
 
 from repro.replay import build_session_jobs, format_fleet_result, replay_jobs
+from repro.testing.faults import FaultPlan, FaultSpec
 from repro.traces.synthetic import (
     SyntheticTraceConfig,
     SyntheticTraceGenerator,
@@ -51,6 +54,20 @@ def main() -> None:
     print(f"byte-identical to sequential replay: {identical}")
     print(f"sequential {sequential.wall_seconds:.2f} s -> "
           f"{workers} workers {fleet.wall_seconds:.2f} s")
+
+    # Self-healing: crash the first session's first attempt; the retry
+    # recovers and the signature still matches the fault-free run.
+    plan = FaultPlan(
+        specs=(
+            FaultSpec("crash", "fleet.worker", times=1, match=f"session:{jobs[0].peer_as}"),
+        )
+    )
+    healed = replay_jobs(jobs, workers=workers, swifted=False, fault_plan=plan)
+    healed_identical = (
+        pickle.dumps(healed.signature()) == pickle.dumps(sequential.signature())
+    )
+    print(f"injected 1 worker crash: {healed.retries} retry(s), "
+          f"degraded={healed.degraded}, still byte-identical: {healed_identical}")
 
     # Partial load: one day of the first session, straight off the mmap store.
     peer_as = SyntheticTraceGenerator(config).stream().peers[0].peer_as

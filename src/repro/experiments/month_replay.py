@@ -377,6 +377,7 @@ def run(
     swifted: bool = True,
     column_native: bool = True,
     kernel_backend: Optional[str] = None,
+    validate: Optional[str] = None,
 ) -> MonthReplayResult:
     """Replay a (cached) month-long session stream end-to-end.
 
@@ -384,12 +385,21 @@ def run(
     reloaded from the columnar cache afterwards — and the session's
     pre-trace RIB is rebuilt deterministically from the generator's
     topology.  Defaults to the first peer of the configured fleet.
+    ``validate`` (``"strict"`` / ``"lenient"``) runs the stream through
+    ingestion validation (:meth:`~repro.traces.columnar.ColumnarTrace.validated`)
+    before replaying it.
     """
+    if validate not in (None, "strict", "lenient"):
+        raise ValueError(
+            f"validate must be None, 'strict' or 'lenient', got {validate!r}"
+        )
     config = config or DEFAULT_REPLAY_CONFIG
     generator_stream = SyntheticTraceGenerator(config).stream()
     if peer_as is None:
         peer_as = generator_stream.peers[0].peer_as
     stream = cached_columnar_stream(config, peer_as)
+    if validate is not None:
+        stream = stream.validated(lenient=(validate == "lenient"))
     rib = generator_stream.rib_of(peer_as)
     return replay_stream(
         stream,

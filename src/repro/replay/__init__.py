@@ -8,7 +8,10 @@ directory.
 """
 
 from repro.replay.fleet import (
+    FailedSession,
+    FleetReplayError,
     FleetReplayResult,
+    RetryPolicy,
     SessionJob,
     build_session_jobs,
     format_fleet_result,
@@ -18,7 +21,10 @@ from repro.replay.fleet import (
 )
 
 __all__ = [
+    "FailedSession",
+    "FleetReplayError",
     "FleetReplayResult",
+    "RetryPolicy",
     "SessionJob",
     "build_session_jobs",
     "format_fleet_result",

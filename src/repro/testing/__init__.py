@@ -1,0 +1,35 @@
+"""Test-support machinery that ships with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+behind the robustness suite: seeded injectors for worker crashes / kills /
+hangs, IO errors and byte-level blob corruption, activatable through
+explicit :class:`~repro.testing.faults.FaultPlan` knobs or the
+``REPRO_FAULTS`` / ``REPRO_FAULT_SEED`` environment variables (which is how
+they reach process-pool replay workers).  Production code paths consult the
+harness through cheap, always-safe hooks: with no plan configured every
+hook is a no-op.
+"""
+
+from repro.testing.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    InjectedIOError,
+    active_injector,
+    corrupt_file,
+    injector_for,
+    install_injector,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedIOError",
+    "active_injector",
+    "corrupt_file",
+    "injector_for",
+    "install_injector",
+]

@@ -1,0 +1,352 @@
+"""Deterministic fault injection for the replay / store / cache stack.
+
+SWIFT is a robustness system; its reproduction should survive the same
+partial-failure conditions in its *own* machinery that the paper studies in
+the control plane.  This module is the harness that proves it: seeded
+injectors for worker crashes, hard worker kills, worker hangs, IO errors
+and byte-level blob corruption, wired into narrow hooks at the production
+call sites (``fleet.worker``, ``store.open``, ``store.read``,
+``cache.write``).  With no plan configured every hook is a no-op.
+
+Two activation channels, both deterministic:
+
+* **explicit knobs** — build a :class:`FaultPlan` (an
+  ``InferenceConfig``-style frozen dataclass) and pass it to
+  :func:`repro.replay.fleet.replay_jobs`; the plan pickles into the worker
+  options, so it reaches pool workers under any start method;
+* **environment** — ``REPRO_FAULTS`` holds the textual plan and
+  ``REPRO_FAULT_SEED`` the seed (:meth:`FaultPlan.to_env` /
+  :meth:`FaultPlan.from_env`); forked *and* spawned workers inherit the
+  environment, which is how an end-to-end subprocess test arms the harness
+  without touching any API.
+
+Determinism has two axes:
+
+* *which keys fire*: a spec with ``rate < 1`` selects keys by a seeded
+  coin — a stable hash of ``(seed, site, key, kind)`` — so the same
+  sessions fail in every process and every rerun;
+* *when they stop*: a spec fires while ``attempt < times`` (callers that
+  retry pass the real attempt number, so retried work self-heals even
+  across pool restarts); sites without a natural attempt count occurrences
+  per ``(spec, key)`` within the process instead.
+
+The textual plan grammar (``REPRO_FAULTS``) is ``,``-separated specs of
+``kind@site`` followed by optional ``;field=value`` pairs::
+
+    kill@fleet.worker;times=1;match=session:1[12]
+    crash@fleet.worker;rate=0.5,io_error@store.read
+
+``site`` and ``match`` are :mod:`fnmatch` patterns (``match`` screens the
+per-call key, e.g. ``session:<peer_as>`` for fleet workers or the blob's
+file name for store/cache sites).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass, field, replace
+from fnmatch import fnmatchcase
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "FAULTS_ENV",
+    "SEED_ENV",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedIOError",
+    "active_injector",
+    "corrupt_file",
+    "injector_for",
+]
+
+#: Environment variable holding the textual fault plan.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Environment variable holding the plan seed (decimal integer).
+SEED_ENV = "REPRO_FAULT_SEED"
+
+#: The fault kinds the harness can execute.
+KINDS = ("crash", "kill", "hang", "io_error", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """An injected worker failure (the ``crash`` kind, and ``kill``/``hang``
+    downgraded outside a supervised pool worker)."""
+
+
+class InjectedIOError(InjectedFault, OSError):
+    """An injected IO failure — an :class:`OSError`, so production error
+    handling (cache-miss degradation, quarantine) treats it like the real
+    thing."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injector: *kind* at *site*, scoped by key match / rate / times.
+
+    ``times`` bounds how often the spec fires per key: against the caller's
+    ``attempt`` number when one is passed (retried work self-heals once
+    ``attempt >= times``), else against a per-process occurrence counter.
+    ``rate`` thins the matched keys with a seeded coin, so ``rate=0.5``
+    deterministically fails *the same* half of the fleet in every process.
+    """
+
+    kind: str
+    site: str
+    times: int = 1
+    rate: float = 1.0
+    match: str = "*"
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (expected one of {KINDS})")
+
+    def to_text(self) -> str:
+        """Render the spec in the ``REPRO_FAULTS`` grammar."""
+        parts = [f"{self.kind}@{self.site}"]
+        if self.times != 1:
+            parts.append(f"times={self.times}")
+        if self.rate != 1.0:
+            parts.append(f"rate={self.rate:g}")
+        if self.match != "*":
+            parts.append(f"match={self.match}")
+        if self.hang_seconds != 3600.0:
+            parts.append(f"hang={self.hang_seconds:g}")
+        return ";".join(parts)
+
+    @classmethod
+    def from_text(cls, text: str) -> "FaultSpec":
+        """Parse one spec of the ``REPRO_FAULTS`` grammar."""
+        head, _, tail = text.strip().partition(";")
+        kind, at, site = head.partition("@")
+        if not at or not kind or not site:
+            raise ValueError(f"malformed fault spec {text!r} (expected kind@site[;k=v...])")
+        spec = cls(kind=kind.strip(), site=site.strip())
+        for pair in filter(None, (piece.strip() for piece in tail.split(";"))):
+            name, eq, value = pair.partition("=")
+            if not eq:
+                raise ValueError(f"malformed fault field {pair!r} in {text!r}")
+            name = name.strip()
+            if name == "times":
+                spec = replace(spec, times=int(value))
+            elif name == "rate":
+                spec = replace(spec, rate=float(value))
+            elif name == "match":
+                spec = replace(spec, match=value.strip())
+            elif name == "hang":
+                spec = replace(spec, hang_seconds=float(value))
+            else:
+                raise ValueError(f"unknown fault field {name!r} in {text!r}")
+        return spec
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the specs to arm — the whole harness configuration.
+
+    Frozen and picklable, so it travels inside the fleet worker options;
+    :meth:`to_env` / :meth:`from_env` are the environment round-trip the
+    subprocess tests use.
+    """
+
+    seed: int = 0
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def to_text(self) -> str:
+        """The ``REPRO_FAULTS`` rendering of the specs (seed excluded)."""
+        return ",".join(spec.to_text() for spec in self.specs)
+
+    def to_env(self) -> Dict[str, str]:
+        """Environment variables that re-create this plan in any process."""
+        return {FAULTS_ENV: self.to_text(), SEED_ENV: str(self.seed)}
+
+    @classmethod
+    def from_text(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse a plan from its ``REPRO_FAULTS`` form."""
+        specs = tuple(
+            FaultSpec.from_text(piece)
+            for piece in filter(None, (piece.strip() for piece in text.split(",")))
+        )
+        return cls(seed=seed, specs=specs)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> Optional["FaultPlan"]:
+        """The plan configured in the environment, or ``None``."""
+        environ = os.environ if environ is None else environ
+        text = environ.get(FAULTS_ENV)
+        if not text:
+            return None
+        seed = int(environ.get(SEED_ENV, "0") or "0")
+        return cls.from_text(text, seed=seed)
+
+
+def _coin(seed: int, site: str, key: str, kind: str) -> float:
+    """A stable uniform-[0,1) draw for (seed, site, key, kind).
+
+    CRC32-based so it is identical across processes and Python hash
+    randomisation — the property that makes ``rate`` select the same keys
+    in a worker as in the parent.
+    """
+    digest = zlib.crc32(f"{seed}|{site}|{key}|{kind}".encode("utf-8"))
+    return (digest % 1_000_000) / 1_000_000.0
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at production hook sites.
+
+    :meth:`fire` is the single entry point: it decides (deterministically)
+    whether a spec applies at this (site, key, attempt) and *executes* the
+    fault — raising for ``crash``/``io_error``, exiting or sleeping for
+    ``kill``/``hang`` inside a supervised pool worker (downgraded to a
+    raise elsewhere, so an inline replay never takes the whole process
+    down), and returning the spec for ``corrupt`` so the caller can apply
+    the byte damage itself (only the writer knows which buffer to hit).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._occurrences: Dict[Tuple[int, str], int] = {}
+
+    def check(
+        self, site: str, key: str = "", attempt: Optional[int] = None
+    ) -> Optional[FaultSpec]:
+        """The first armed spec matching (site, key, attempt), or ``None``.
+
+        Purely a decision — no fault is executed.  When ``attempt`` is
+        ``None`` the per-process occurrence counter of the (spec, key) pair
+        is consumed instead.
+        """
+        for index, spec in enumerate(self.plan.specs):
+            if not fnmatchcase(site, spec.site):
+                continue
+            if not fnmatchcase(key, spec.match):
+                continue
+            if spec.rate < 1.0 and _coin(self.plan.seed, site, key, spec.kind) >= spec.rate:
+                continue
+            if attempt is None:
+                counter_key = (index, key)
+                occurrence = self._occurrences.get(counter_key, 0)
+                self._occurrences[counter_key] = occurrence + 1
+            else:
+                occurrence = attempt
+            if occurrence < spec.times:
+                return spec
+        return None
+
+    def fire(
+        self,
+        site: str,
+        key: str = "",
+        attempt: Optional[int] = None,
+        in_worker: bool = False,
+    ) -> Optional[FaultSpec]:
+        """Decide and execute a fault at this hook.
+
+        Returns ``None`` (nothing armed), returns the spec (``corrupt`` —
+        the caller applies the damage), or does not return at all: raises
+        :class:`InjectedFault` / :class:`InjectedIOError`, or — only with
+        ``in_worker=True``, i.e. under a supervising pool driver —
+        hard-exits the process (``kill``) / blocks (``hang``) so the
+        driver's broken-pool and timeout handling are exercised for real.
+        """
+        spec = self.check(site, key, attempt=attempt)
+        if spec is None:
+            return None
+        if spec.kind == "crash":
+            raise InjectedFault(f"injected crash at {site} ({key})")
+        if spec.kind == "io_error":
+            raise InjectedIOError(f"injected IO error at {site} ({key})")
+        if spec.kind == "kill":
+            if in_worker:
+                os._exit(3)
+            raise InjectedFault(f"injected kill at {site} ({key}) outside a pool worker")
+        if spec.kind == "hang":
+            if in_worker:
+                time.sleep(spec.hang_seconds)
+                raise InjectedFault(f"injected hang at {site} ({key}) outlived its sleep")
+            raise InjectedFault(f"injected hang at {site} ({key}) outside a pool worker")
+        return spec  # corrupt: the caller owns the byte damage
+
+
+def corrupt_file(path: str, seed: int = 0, offset: Optional[int] = None) -> int:
+    """Flip one byte of ``path`` in place; returns the flipped offset.
+
+    The offset is seeded (a stable function of the seed and the file size)
+    unless given explicitly, so a corruption test damages the same byte in
+    every run.  The flip is ``XOR 0xFF`` — guaranteed to change the byte,
+    hence guaranteed to trip a covering checksum.
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ValueError(f"cannot corrupt empty file {path!r}")
+    if offset is None:
+        offset = zlib.crc32(f"corrupt|{seed}|{size}".encode("utf-8")) % size
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes((byte[0] ^ 0xFF,)))
+    return offset
+
+
+# -- ambient (environment-configured) injector ------------------------------
+
+_env_cache_key: Optional[Tuple[Optional[str], Optional[str]]] = None
+_env_cache_value: Optional[FaultInjector] = None
+
+_plan_injectors: Dict[FaultPlan, FaultInjector] = {}
+
+_installed: Optional[FaultInjector] = None
+
+
+def install_injector(injector: Optional[FaultInjector]) -> None:
+    """Process-locally arm (``None``: disarm) an injector for ambient hooks.
+
+    The fleet worker body installs the injector of an explicitly-passed
+    plan for the duration of a job, so store / cache hook sites inside the
+    worker see the same plan the ``fleet.worker`` site does — without the
+    plan having to travel through the environment.
+    """
+    global _installed
+    _installed = injector
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The ambient injector, or ``None`` (the common case).
+
+    A process-locally installed injector (:func:`install_injector`) wins;
+    otherwise the environment-configured one is used, cached per
+    ``(REPRO_FAULTS, REPRO_FAULT_SEED)`` value so production hooks pay two
+    dict lookups when the harness is idle — and so occurrence counters
+    persist across calls within a process.
+    """
+    if _installed is not None:
+        return _installed
+    global _env_cache_key, _env_cache_value
+    key = (os.environ.get(FAULTS_ENV), os.environ.get(SEED_ENV))
+    if key != _env_cache_key:
+        _env_cache_key = key
+        plan = FaultPlan.from_env()
+        _env_cache_value = FaultInjector(plan) if plan and plan.specs else None
+    return _env_cache_value
+
+
+def injector_for(plan: Optional[FaultPlan]) -> Optional[FaultInjector]:
+    """The injector for an explicit plan, falling back to the environment.
+
+    Explicit plans get one injector instance each (per process), so their
+    occurrence counters behave like the ambient one's.
+    """
+    if plan is None:
+        return active_injector()
+    if not plan.specs:
+        return None
+    injector = _plan_injectors.get(plan)
+    if injector is None:
+        injector = _plan_injectors[plan] = FaultInjector(plan)
+    return injector

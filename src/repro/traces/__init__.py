@@ -25,6 +25,8 @@ from repro.traces.columnar import (
     decode_rib,
     encode_rib,
 )
+from repro.traces.columnar_store import CorruptColumnStoreError
+from repro.traces.validation import TraceValidationError, ValidationReport
 from repro.traces.mrt import (
     TraceRecord,
     TraceReader,
@@ -59,6 +61,7 @@ __all__ = [
     "ColumnarRun",
     "ColumnarSyntheticTrace",
     "ColumnarTrace",
+    "CorruptColumnStoreError",
     "InternPool",
     "POPULAR_ORGANIZATIONS",
     "PopularOrigin",
@@ -71,7 +74,9 @@ __all__ = [
     "SyntheticTraceStream",
     "TraceReader",
     "TraceRecord",
+    "TraceValidationError",
     "TraceWriter",
+    "ValidationReport",
     "build_collector_fleet",
     "cached_columnar_stream",
     "cached_columnar_stream_file",

@@ -5,12 +5,14 @@ a pickle is all-or-nothing: loading one month trace reads (and memcpys)
 every column, even when the consumer only wants a time window.  This module
 stores a :class:`~repro.traces.columnar.ColumnarTrace` as::
 
-    magic | u32 store version | u64 header length | pickled header | segments
+    magic | u32 store version | u64 header length | u64 total file length
+          | u32 header CRC32 | pickled header | segments
 
 where the header is a small dict — columnar format version, the ``extras``
-dict, and one ``(name, typecode, offset, nbytes)`` descriptor per column —
-and the segments are the raw column buffers back to back.  Reload is
-``mmap`` + :meth:`array.array.frombytes` per column, *on demand*:
+dict, one ``(name, typecode, offset, nbytes)`` descriptor per column and a
+``checksums`` map of per-column CRC32s — and the segments are the raw
+column buffers back to back.  Reload is ``mmap`` +
+:meth:`array.array.frombytes` per column, *on demand*:
 
 * :meth:`ColumnarTraceFile.load` materialises every column (a full trace,
   equivalent to unpickling the blob but without the pickle layer);
@@ -21,6 +23,18 @@ and the segments are the raw column buffers back to back.  Reload is
 * :attr:`ColumnarTraceFile.bytes_read` counts the segment bytes actually
   materialised, which is how the tests and benchmarks assert that a window
   load reads less than the full blob.
+
+**Integrity.**  Store v2 is self-checking: opening a file verifies the
+total-length field against the actual file size (catching truncation and
+torn writes immediately, without reading a single segment) and the header
+CRC; every *full* column materialisation verifies that column's CRC32.  A
+failed check raises the typed :class:`CorruptColumnStoreError`, which the
+cache layer treats as a miss — quarantine, rebuild, log once.  Partial
+(windowed) segment reads are not re-checksummed — that would force reading
+the whole column and defeat the windowed load — so a window is covered by
+the open-time truncation check plus the full verification of the pool
+tables it always materialises.  v1 files (no checksums) remain readable;
+they simply skip verification.
 
 Buffers are written in native byte order, like the pickled ``array`` blobs
 they replace; the store is a cache format for the machine that wrote it,
@@ -34,6 +48,7 @@ import mmap
 import os
 import pickle
 import struct
+import zlib
 from array import array
 from bisect import bisect_left
 from typing import Dict, List, Optional, Tuple
@@ -47,47 +62,95 @@ from repro.traces.columnar import (
     _rebased,
 )
 
-__all__ = ["STORE_VERSION", "ColumnarTraceFile", "read_trace", "write_trace"]
+__all__ = [
+    "STORE_VERSION",
+    "ColumnarTraceFile",
+    "CorruptColumnStoreError",
+    "read_trace",
+    "write_trace",
+]
 
 _MAGIC = b"RPROCOLS"
 #: Bump when the container layout (not the column schema) changes.
-STORE_VERSION = 1
+#: v2: per-column CRC32 checksums + total-length field + header CRC.
+STORE_VERSION = 2
 
-_LENGTHS = struct.Struct("<IQ")  # store version, header length
+_VERSION = struct.Struct("<I")
+_V1_LENGTHS = struct.Struct("<Q")  # header length (legacy v1 tail)
+_V2_LENGTHS = struct.Struct("<QQI")  # header length, total length, header crc
 
 
-def write_trace(path: str, trace: ColumnarTrace) -> None:
+class CorruptColumnStoreError(ValueError):
+    """A ``.cols`` file failed an integrity check (truncation, bit flips,
+    an unparseable or checksum-mismatched header or column).
+
+    Distinct from a plain stale-version :class:`ValueError` so the cache
+    layer can *quarantine* provably-damaged blobs while silently rebuilding
+    merely outdated ones.
+    """
+
+
+def _fault_hook(site: str, key: str):
+    """Consult the fault-injection harness; a no-op when it is idle."""
+    from repro.testing import faults
+
+    injector = faults.active_injector()
+    if injector is None:
+        return None
+    return injector.fire(site, key=key)
+
+
+def write_trace(path: str, trace: ColumnarTrace, store_version: int = STORE_VERSION) -> None:
     """Write a trace in the column-store layout (header + raw segments).
 
     The caller owns atomicity (the trace cache writes to a temp file and
     renames); this function just streams the buffers, so writing never holds
-    a second copy of the columns.
+    a second copy of the columns.  ``store_version=1`` writes the legacy
+    checksum-less layout — only the back-compat tests want that.
     """
+    if store_version not in (1, STORE_VERSION):
+        raise ValueError(f"cannot write store layout v{store_version}")
     payload = trace.to_payload()
     segments: List[Tuple[str, str, int, int]] = []
     buffers: List[bytes] = []
+    checksums: Dict[str, int] = {}
     offset = 0
     for name, typecode in POOL_COLUMNS:
         buffer = payload["pool"][name]
         segments.append((f"pool.{name}", typecode, offset, len(buffer)))
+        checksums[f"pool.{name}"] = zlib.crc32(buffer)
         buffers.append(buffer)
         offset += len(buffer)
     for name, typecode in TRACE_COLUMNS:
         buffer = payload[name]
         segments.append((name, typecode, offset, len(buffer)))
+        checksums[name] = zlib.crc32(buffer)
         buffers.append(buffer)
         offset += len(buffer)
-    header = pickle.dumps(
-        {
-            "format": COLUMNAR_FORMAT_VERSION,
-            "extras": payload["extras"],
-            "segments": segments,
-        },
-        protocol=pickle.HIGHEST_PROTOCOL,
-    )
+    header_dict = {
+        "format": COLUMNAR_FORMAT_VERSION,
+        "extras": payload["extras"],
+        "segments": segments,
+    }
+    if store_version >= 2:
+        header_dict["checksums"] = checksums
+    header = pickle.dumps(header_dict, protocol=pickle.HIGHEST_PROTOCOL)
     with open(path, "wb") as handle:
         handle.write(_MAGIC)
-        handle.write(_LENGTHS.pack(STORE_VERSION, len(header)))
+        handle.write(_VERSION.pack(store_version))
+        if store_version == 1:
+            handle.write(_V1_LENGTHS.pack(len(header)))
+        else:
+            total_length = (
+                len(_MAGIC)
+                + _VERSION.size
+                + _V2_LENGTHS.size
+                + len(header)
+                + offset
+            )
+            handle.write(
+                _V2_LENGTHS.pack(len(header), total_length, zlib.crc32(header))
+            )
         handle.write(header)
         for buffer in buffers:
             handle.write(buffer)
@@ -125,29 +188,72 @@ class ColumnarTraceFile:
 
     def __init__(self, path: str) -> None:
         self.path = path
+        _fault_hook("store.open", os.path.basename(path))
         self._handle = open(path, "rb")
         try:
-            prefix = self._handle.read(len(_MAGIC) + _LENGTHS.size)
+            prefix = self._handle.read(len(_MAGIC) + _VERSION.size)
+            if len(prefix) < len(_MAGIC) + _VERSION.size:
+                raise CorruptColumnStoreError(f"{path}: truncated store prefix")
             if prefix[: len(_MAGIC)] != _MAGIC:
-                raise ValueError(f"{path}: not a columnar store file")
-            store_version, header_length = _LENGTHS.unpack(prefix[len(_MAGIC) :])
-            if store_version != STORE_VERSION:
+                raise CorruptColumnStoreError(f"{path}: not a columnar store file")
+            (store_version,) = _VERSION.unpack(prefix[len(_MAGIC) :])
+            if store_version == 1:
+                lengths = self._handle.read(_V1_LENGTHS.size)
+                if len(lengths) < _V1_LENGTHS.size:
+                    raise CorruptColumnStoreError(f"{path}: truncated store prefix")
+                (header_length,) = _V1_LENGTHS.unpack(lengths)
+                total_length = None
+                header_crc = None
+                fixed_size = len(_MAGIC) + _VERSION.size + _V1_LENGTHS.size
+            elif store_version == STORE_VERSION:
+                lengths = self._handle.read(_V2_LENGTHS.size)
+                if len(lengths) < _V2_LENGTHS.size:
+                    raise CorruptColumnStoreError(f"{path}: truncated store prefix")
+                header_length, total_length, header_crc = _V2_LENGTHS.unpack(lengths)
+                fixed_size = len(_MAGIC) + _VERSION.size + _V2_LENGTHS.size
+            else:
                 raise ValueError(
                     f"{path}: store layout v{store_version}, running code "
                     f"expects v{STORE_VERSION}"
                 )
-            header = pickle.loads(self._handle.read(header_length))
-            if header["format"] != COLUMNAR_FORMAT_VERSION:
+            file_size = os.fstat(self._handle.fileno()).st_size
+            if total_length is not None and file_size != total_length:
+                raise CorruptColumnStoreError(
+                    f"{path}: file is {file_size} bytes but the header "
+                    f"records {total_length} — truncated or torn write"
+                )
+            header_bytes = self._handle.read(header_length)
+            if len(header_bytes) < header_length:
+                raise CorruptColumnStoreError(f"{path}: truncated header")
+            if header_crc is not None and zlib.crc32(header_bytes) != header_crc:
+                raise CorruptColumnStoreError(f"{path}: header checksum mismatch")
+            try:
+                header = pickle.loads(header_bytes)
+                segments = {
+                    name: (typecode, offset, nbytes)
+                    for name, typecode, offset, nbytes in header["segments"]
+                }
+                format_version = header["format"]
+            except CorruptColumnStoreError:
+                raise
+            except Exception as error:
+                raise CorruptColumnStoreError(
+                    f"{path}: unreadable header ({error!r})"
+                ) from error
+            if format_version != COLUMNAR_FORMAT_VERSION:
                 raise ValueError(
-                    f"{path}: columnar format v{header['format']}, running "
+                    f"{path}: columnar format v{format_version}, running "
                     f"code expects v{COLUMNAR_FORMAT_VERSION}"
                 )
             self._extras: Dict[int, tuple] = header["extras"]
-            self._base = len(_MAGIC) + _LENGTHS.size + header_length
-            self._segments: Dict[str, Tuple[str, int, int]] = {
-                name: (typecode, offset, nbytes)
-                for name, typecode, offset, nbytes in header["segments"]
-            }
+            self._checksums: Dict[str, int] = header.get("checksums") or {}
+            self._base = fixed_size + header_length
+            self._segments: Dict[str, Tuple[str, int, int]] = segments
+            for name, (_, offset, nbytes) in segments.items():
+                if self._base + offset + nbytes > file_size:
+                    raise CorruptColumnStoreError(
+                        f"{path}: column {name!r} extends past end of file"
+                    )
             self._mm = mmap.mmap(self._handle.fileno(), 0, access=mmap.ACCESS_READ)
         except Exception:
             self._handle.close()
@@ -155,6 +261,7 @@ class ColumnarTraceFile:
         #: Segment bytes materialised so far (full or partial column copies).
         self.bytes_read = 0
         self._pool: Optional[InternPool] = None
+        self._verified: set = set()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -183,7 +290,16 @@ class ColumnarTraceFile:
     # -- column access ------------------------------------------------------
 
     def _column(self, name: str, low: int = 0, high: Optional[int] = None) -> array:
-        """Materialise the element range [low, high) of one column."""
+        """Materialise the element range [low, high) of one column.
+
+        A *full* materialisation of a checksummed (v2) column verifies its
+        CRC32 — once per column per open file — and raises
+        :class:`CorruptColumnStoreError` on mismatch.  Partial ranges skip
+        the check (verifying would read the whole segment, defeating the
+        windowed load); truncation is still caught at open time by the
+        total-length field.
+        """
+        _fault_hook("store.read", os.path.basename(self.path))
         typecode, offset, nbytes = self._segments[name]
         column = array(typecode)
         itemsize = column.itemsize
@@ -193,6 +309,17 @@ class ColumnarTraceFile:
         start = min(start, stop)
         buffer = self._mm[self._base + start : self._base + stop]
         self.bytes_read += len(buffer)
+        if (
+            len(buffer) == nbytes
+            and name in self._checksums
+            and name not in self._verified
+        ):
+            if zlib.crc32(buffer) != self._checksums[name]:
+                raise CorruptColumnStoreError(
+                    f"{self.path}: column {name!r} checksum mismatch "
+                    f"(corrupt segment)"
+                )
+            self._verified.add(name)
         column.frombytes(buffer)
         return column
 
@@ -211,7 +338,13 @@ class ColumnarTraceFile:
     # -- loads --------------------------------------------------------------
 
     def load(self) -> ColumnarTrace:
-        """Materialise the full trace (every column, one memcpy each)."""
+        """Materialise the full trace (every column, one memcpy each).
+
+        Every column is read in full, so on a v2 file a successful
+        :meth:`load` implies every segment passed its CRC32 — the property
+        the cache layer relies on to detect a flipped byte anywhere in the
+        blob.
+        """
         trace = ColumnarTrace.__new__(ColumnarTrace)
         trace.pool = self.pool()
         for name, _ in TRACE_COLUMNS:
@@ -226,7 +359,8 @@ class ColumnarTraceFile:
         The bisect runs over a lazy mmap view of the timestamp column, so
         locating the window reads O(log n) elements; materialisation then
         copies just the window's byte ranges out of each column (plus the
-        interning tables, which every load shares).
+        interning tables, which every load shares and which are fully
+        CRC-verified on a v2 file).
         """
         times = self._lazy_column("msg_time")
         return self.slice(bisect_left(times, t0), bisect_left(times, t1))

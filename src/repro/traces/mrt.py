@@ -22,6 +22,7 @@ from repro.bgp.attributes import ASPath, PathAttributes
 from repro.bgp.messages import BGPMessage, Notification, Update
 from repro.bgp.prefix import Prefix
 from repro.traces.columnar import ColumnarTrace, InternPool
+from repro.traces.validation import TraceValidationError, ValidationReport
 
 __all__ = [
     "TraceReader",
@@ -61,20 +62,34 @@ class TraceRecord:
 
     @classmethod
     def from_line(cls, line: str) -> "TraceRecord":
-        """Parse a record from its one-line text form."""
+        """Parse a record from its one-line text form.
+
+        Any defect — wrong field count, unparsable numbers, bad prefix or
+        path syntax, an invalid type byte — raises
+        :class:`~repro.traces.validation.TraceValidationError` (reason
+        ``malformed-line``), which is still a :class:`ValueError` for
+        callers that only care about pass/fail.
+        """
         parts = line.rstrip("\n").split("|")
         if len(parts) != 5:
-            raise ValueError(f"malformed trace line: {line!r}")
+            raise TraceValidationError(
+                "malformed-line", f"expected 5 |-separated fields: {line!r}"
+            )
         record_type, timestamp_text, peer_text, prefix_text, path_text = parts
-        prefix = Prefix.from_string(prefix_text) if prefix_text else None
-        as_path = ASPath.from_string(path_text) if path_text else None
-        return cls(
-            type=record_type,
-            timestamp=float(timestamp_text),
-            peer_as=int(peer_text),
-            prefix=prefix,
-            as_path=as_path,
-        )
+        try:
+            prefix = Prefix.from_string(prefix_text) if prefix_text else None
+            as_path = ASPath.from_string(path_text) if path_text else None
+            return cls(
+                type=record_type,
+                timestamp=float(timestamp_text),
+                peer_as=int(peer_text),
+                prefix=prefix,
+                as_path=as_path,
+            )
+        except TraceValidationError:
+            raise
+        except ValueError as error:
+            raise TraceValidationError("malformed-line", f"{line!r}: {error}") from error
 
 
 class TraceWriter:
@@ -113,10 +128,18 @@ class TraceWriter:
 
 
 class TraceReader:
-    """Streams trace records back from a file (or file-like object)."""
+    """Streams trace records back from a file (or file-like object).
 
-    def __init__(self, source: Union[str, IO[str]]) -> None:
+    Pass a lenient :class:`~repro.traces.validation.ValidationReport` to
+    count-and-skip malformed lines instead of raising on the first one;
+    the report collects per-reason skip counts and one example each.
+    """
+
+    def __init__(
+        self, source: Union[str, IO[str]], report: Optional[ValidationReport] = None
+    ) -> None:
         self._source = source
+        self._report = report
 
     def __iter__(self) -> Iterator[TraceRecord]:
         if isinstance(self._source, str):
@@ -125,26 +148,41 @@ class TraceReader:
         else:
             yield from self._iter_handle(self._source)
 
-    @staticmethod
-    def _iter_handle(handle: IO[str]) -> Iterator[TraceRecord]:
+    def _iter_handle(self, handle: IO[str]) -> Iterator[TraceRecord]:
+        report = self._report
         for line in handle:
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            yield TraceRecord.from_line(line)
+            if report is None:
+                yield TraceRecord.from_line(line)
+                continue
+            report.checked += 1
+            try:
+                yield TraceRecord.from_line(line)
+            except TraceValidationError as error:
+                if not report.lenient:
+                    raise
+                report.note(error)
 
     def read_all(self) -> List[TraceRecord]:
         """Materialise every record in a list."""
         return list(iter(self))
 
-    def read_columnar(self, pool: Optional[InternPool] = None) -> ColumnarTrace:
+    def read_columnar(
+        self,
+        pool: Optional[InternPool] = None,
+        report: Optional[ValidationReport] = None,
+    ) -> ColumnarTrace:
         """Parse the whole dump straight into columns.
 
         Streams records through :func:`records_to_columnar` — the file is
         read line by line and at no point does an object-form message list
         exist, which is how month-scale dumps should be loaded for replay.
+        ``report`` governs record-level validation (distinct from the
+        reader's own line-level report).
         """
-        return records_to_columnar(iter(self), pool=pool)
+        return records_to_columnar(iter(self), pool=pool, report=report)
 
 
 def messages_to_records(messages: Iterable[BGPMessage]) -> List[TraceRecord]:
@@ -181,7 +219,9 @@ def messages_to_records(messages: Iterable[BGPMessage]) -> List[TraceRecord]:
 
 
 def records_to_columnar(
-    records: Iterable[TraceRecord], pool: Optional[InternPool] = None
+    records: Iterable[TraceRecord],
+    pool: Optional[InternPool] = None,
+    report: Optional[ValidationReport] = None,
 ) -> ColumnarTrace:
     """Parse trace records into a columnar stream (one prefix per message).
 
@@ -191,13 +231,33 @@ def records_to_columnar(
     interned in the pool and the per-message state is a handful of array
     appends, so a dump parses into replayable form without building the
     object stream.
+
+    Records with a non-positive peer AS or a timestamp running backwards
+    raise :class:`~repro.traces.validation.TraceValidationError`; pass a
+    lenient ``report`` to count-and-skip them instead.
     """
+    if report is None:
+        report = ValidationReport()
     trace = ColumnarTrace(pool=pool)
     # Records repeat (path, peer) pairs heavily; interning the constructed
     # attribute objects here keeps the pool's value-keyed dedup from
     # rebuilding an identical PathAttributes per record.
     attributes_of: dict = {}
+    previous_time: Optional[float] = None
     for record in records:
+        report.checked += 1
+        if record.peer_as < 1:
+            report.flag(
+                "invalid-peer", f"record {report.checked}: peer AS {record.peer_as}"
+            )
+            continue
+        if previous_time is not None and record.timestamp < previous_time:
+            report.flag(
+                "non-monotone-timestamp",
+                f"record {report.checked}: {record.timestamp} after {previous_time}",
+            )
+            continue
+        previous_time = record.timestamp
         if record.type == "W":
             assert record.prefix is not None
             trace.withdraw(record.timestamp, record.peer_as, record.prefix)

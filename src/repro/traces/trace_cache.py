@@ -33,7 +33,14 @@ treated as a miss, so a stale entry can never be half-loaded.
 The cache lives in ``.trace_cache/`` at the repository root by default;
 set ``REPRO_TRACE_CACHE`` to relocate it or ``REPRO_TRACE_CACHE=off`` to
 disable caching entirely (every load then falls through to the builder).
-Corrupt or unreadable cache files are treated as misses and rebuilt.
+Corrupt or unreadable cache files are treated as misses and rebuilt;
+provably-damaged column-store blobs (a failed CRC or truncation check —
+:class:`~repro.traces.columnar_store.CorruptColumnStoreError`) are
+additionally **quarantined**: the bad blob is renamed to ``<entry>.corrupt``
+for post-mortem, a warning is logged once per entry, and the value is
+rebuilt under the original name.  Writes ``fsync`` the temp file before the
+rename (and the directory after), so a crash mid-write can leave at most an
+unreferenced temp file — never a torn blob under the final name.
 """
 
 from __future__ import annotations
@@ -41,12 +48,15 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import logging
 import os
 import pickle
 import re
 import tempfile
 import time
 from typing import Any, Callable, Optional
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "cache_path_for",
@@ -191,14 +201,66 @@ def _sweep_stale_tmp(directory: str, max_age_seconds: float = _STALE_TMP_SECONDS
     return removed
 
 
+def _fault_hook(temp_path: str, final_path: str) -> None:
+    """Consult the fault-injection harness on the cache write path.
+
+    Keyed by the *final* entry name (so specs can match cache entries),
+    applied to the temp file: ``io_error`` specs raise (the write degrades
+    to best-effort, exactly like a real filesystem error); ``corrupt``
+    specs flip a seeded byte in the about-to-be-renamed blob — the
+    torn-write damage the store checksums exist to detect.  A no-op when
+    the harness is idle.
+    """
+    from repro.testing import faults
+
+    injector = faults.active_injector()
+    if injector is None:
+        return
+    spec = injector.fire("cache.write", key=os.path.basename(final_path))
+    if spec is not None and spec.kind == "corrupt":
+        faults.corrupt_file(temp_path, seed=injector.plan.seed)
+
+
+def _fsync_file(path: str) -> None:
+    """Force a written file's contents to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_directory(directory: str) -> None:
+    """Force a directory entry update (the rename) to stable storage.
+
+    Best-effort: not every platform allows opening a directory for fsync.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(directory, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _write_atomic(path: str, writer: Callable[[str], None]) -> None:
-    """Write a cache entry via temp file + rename, cleaning up on failure.
+    """Write a cache entry via temp file + fsync + rename.
 
     ``writer(temp_path)`` produces the file contents.  The temp file is
-    removed in a ``finally`` block (surviving even :class:`KeyboardInterrupt`
-    during the write), so an interrupted writer cannot orphan it; if the
-    unlink itself fails, the stale-tmp sweep on a later write or
-    :func:`clear_cache` picks the file up.
+    ``fsync``\\ ed *before* the rename — so a crash at any point leaves
+    either no entry or a complete one, never a torn blob under the final
+    name (the failure mode the column-store checksums detect; the fsync
+    prevents it) — and the directory is fsynced after, making the rename
+    itself durable.  The temp file is removed in a ``finally`` block
+    (surviving even :class:`KeyboardInterrupt` during the write), so an
+    interrupted writer cannot orphan it; if the unlink itself fails, the
+    stale-tmp sweep on a later write or :func:`clear_cache` picks the file
+    up.
     """
     directory = os.path.dirname(path)
     os.makedirs(directory, exist_ok=True)
@@ -207,13 +269,49 @@ def _write_atomic(path: str, writer: Callable[[str], None]) -> None:
     os.close(fd)
     try:
         writer(temp_path)
+        _fault_hook(temp_path, path)
+        _fsync_file(temp_path)
         os.replace(temp_path, path)
+        _fsync_directory(directory)
     finally:
         if os.path.exists(temp_path):
             try:
                 os.unlink(temp_path)
             except OSError:
                 pass  # the stale-tmp sweep will reclaim it
+
+
+#: Entries already quarantine-logged this process (one warning per blob).
+_QUARANTINE_LOGGED: set = set()
+
+
+def _quarantine(path: str, error: Exception) -> None:
+    """Move a provably-corrupt cache blob aside and log once.
+
+    The blob is renamed to ``<path>.corrupt`` (replacing any previous
+    quarantined copy) so the damaged bytes stay available for post-mortem
+    while the cache path is freed for the rebuild.  If even the rename
+    fails, the blob is unlinked; if that fails too, the rebuild will
+    overwrite it.  Never raises — quarantine is best-effort by design.
+    """
+    target = path + ".corrupt"
+    try:
+        os.replace(path, target)
+    except OSError:
+        target = None
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    if path not in _QUARANTINE_LOGGED:
+        _QUARANTINE_LOGGED.add(path)
+        destination = f"quarantined to {target}" if target else "removed"
+        logger.warning(
+            "corrupt trace-cache entry %s (%s); %s, rebuilding",
+            path,
+            error,
+            destination,
+        )
 
 
 def load_or_build(
@@ -272,7 +370,9 @@ def load_or_build_columnar(
     :mod:`repro.traces.columnar_store`) instead of a pickle, so a hit is
     ``mmap`` + per-column ``frombytes`` and :func:`open_columnar` can serve
     partial time-window loads of the same entry without reading the whole
-    file.
+    file.  A blob failing the store's integrity checks (CRC mismatch,
+    truncation) is a cache miss: it is quarantined to ``<entry>.corrupt``,
+    a warning is logged once, and the value is rebuilt.
     """
     from repro.traces import columnar_store
 
@@ -280,8 +380,10 @@ def load_or_build_columnar(
     if path is not None and os.path.exists(path):
         try:
             return columnar_store.read_trace(path)
+        except columnar_store.CorruptColumnStoreError as error:
+            _quarantine(path, error)
         except Exception:
-            pass  # corrupt / stale-format entry: rebuild below
+            pass  # stale-format entry: rebuild below
     value = builder()
     if path is not None:
         try:
@@ -307,7 +409,8 @@ def open_columnar(
     in memory).  Writability is probed *before* building, so a minutes-long
     generation is never spent on a value that could not be persisted.  A
     missing or stale entry is built and persisted first, exactly as in
-    :func:`load_or_build_columnar`.
+    :func:`load_or_build_columnar` — including the quarantine-and-rebuild
+    handling of blobs that fail the store's integrity checks.
     """
     from repro.traces import columnar_store
 
@@ -317,8 +420,10 @@ def open_columnar(
     if os.path.exists(path):
         try:
             return columnar_store.ColumnarTraceFile(path)
+        except columnar_store.CorruptColumnStoreError as error:
+            _quarantine(path, error)
         except Exception:
-            pass  # corrupt / stale-format entry: rebuild below
+            pass  # stale-format entry: rebuild below
     if not _directory_writable(os.path.dirname(path)):
         return None
     value = builder()
@@ -348,7 +453,7 @@ def clear_cache() -> int:
         return 0
     removed = 0
     for name in os.listdir(directory):
-        if name.endswith((".pkl", ".cols", ".tmp")):
+        if name.endswith((".pkl", ".cols", ".tmp", ".corrupt")):
             try:
                 os.unlink(os.path.join(directory, name))
                 removed += 1

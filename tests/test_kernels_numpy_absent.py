@@ -85,6 +85,7 @@ def test_package_and_replay_work_without_numpy(tmp_path):
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert completed.returncode == 0, completed.stderr or completed.stdout
     assert "numpy-absent replay OK" in completed.stdout
