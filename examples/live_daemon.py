@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Always-on streaming ingestion (the live half of SWIFT).
+
+Runs the ingestion daemon end to end over rate-controlled synthetic
+feeds — one reader per BGP session, bounded-queue backpressure, crash-safe
+rolling columnar segments checkpointed in ``MANIFEST.json`` — then:
+
+* verifies every sealed segment's CRC against the manifest,
+* replays the ingested windows live (:class:`repro.ingest.LiveReplay`)
+  and checks the result is **byte-identical** to an offline replay of the
+  same stream, and
+* demonstrates crash recovery: a writer is abandoned mid-segment with a
+  torn frame appended to its log (what ``kill -9`` mid-append leaves
+  behind), and :func:`repro.ingest.recover_feed` rebuilds exactly the
+  acknowledged rows.
+
+Run with:  python examples/live_daemon.py [duration_days] [segment_rows] [rate]
+
+Defaults ingest two 0.2-day sessions unthrottled; pass a rate (lines/s per
+feed) to watch the pacing. The smoke test runs
+``python examples/live_daemon.py 0.05 40``.
+"""
+
+import io
+import os
+import pickle
+import sys
+import tempfile
+
+sys.path.insert(0, "src")
+
+from repro.ingest import (
+    IngestConfig,
+    IngestDaemon,
+    Manifest,
+    SegmentWriter,
+    SyntheticFeed,
+    recover_feed,
+    replay_feed,
+)
+from repro.experiments.month_replay import replay_stream
+from repro.traces.mrt import TraceReader
+from repro.traces.synthetic import SyntheticTraceConfig, SyntheticTraceGenerator
+from repro.traces.validation import ValidationReport
+
+
+def main() -> None:
+    duration_days = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+    segment_rows = int(sys.argv[2]) if len(sys.argv) > 2 else 100
+    rate = float(sys.argv[3]) if len(sys.argv) > 3 else 0.0
+
+    config = SyntheticTraceConfig(
+        peer_count=2,
+        duration_days=duration_days,
+        min_table_size=120,
+        max_table_size=260,
+        burst_size_minimum=60,
+        noise_rate_per_second=0.02,
+        seed=11,
+    )
+    peers = [peer.peer_as for peer in SyntheticTraceGenerator(config).stream().peers]
+    feeds = [
+        SyntheticFeed(config, peer_as, rate=rate or None) for peer_as in peers
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="live-ingest-") as root:
+        print(f"ingesting {len(feeds)} live feeds into {root} "
+              f"(segment_rows={segment_rows}, rate={rate or 'unthrottled'})...")
+        result = IngestDaemon(
+            root,
+            feeds,
+            IngestConfig(flush_rows=16, segment_rows=segment_rows, queue_size=64),
+        ).run()
+        for name in sorted(result.feeds):
+            status = result.feeds[name]
+            print(f"  {name}: {status.rows_acked} rows across "
+                  f"{status.segments_sealed} sealed segments "
+                  f"(queue high-water {status.queue_high_water}, "
+                  f"restarts {status.restarts})")
+
+        manifest = Manifest.load(root)
+        checked = manifest.verify()
+        print(f"manifest integrity: {checked} sealed segments verified (CRC + size)")
+
+        # Live windowed replay vs offline whole-stream replay, byte for byte.
+        feed = feeds[0]
+        lines = [line for _, line in SyntheticFeed(config, feed.peer_as).connect()]
+        stream = TraceReader(
+            io.StringIO("".join(line + "\n" for line in lines))
+        ).read_columnar(report=ValidationReport(lenient=True))
+        rib = feed.rib()
+        offline = replay_stream(stream, rib, feed.peer_as, collect_events=True)
+        live = replay_feed(root, feed.name, rib, feed.peer_as, collect_events=True)
+        identical = pickle.dumps(live.signature()) == pickle.dumps(offline.signature())
+        print(f"live windowed replay byte-identical to offline replay: {identical}")
+
+        # Crash recovery: abandon a writer mid-segment with a torn frame —
+        # the on-disk state a kill -9 mid-append leaves behind.
+        crash_manifest = Manifest.load(root)
+        writer = SegmentWriter(root, "crash-demo", crash_manifest)
+        for offset, line in enumerate(lines[:40]):
+            writer.add_line(offset, line)
+        writer.flush()          # fsync: these 40 lines are acknowledged
+        acked = writer.rows_acked
+        for offset in range(40, 50):
+            writer.add_line(offset, lines[offset])   # never flushed
+        log_path = os.path.join(root, "crash-demo", "seg-00000.log")
+        with open(log_path, "ab") as handle:
+            handle.write(b"\x99\x00\x00\x00TORN")    # torn mid-append frame
+        recovery = recover_feed(root, "crash-demo", crash_manifest)
+        print(f"crash recovery: {acked} rows acknowledged before the crash, "
+              f"{len(recovery.open_lines)} lines recovered from the log "
+              f"(torn tail truncated, unflushed rows correctly absent)")
+
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -57,6 +57,7 @@ __all__ = [
     "BACKUP_PEER_AS",
     "DEFAULT_REPLAY_CONFIG",
     "MonthReplayResult",
+    "StreamReplayer",
     "backup_alternates",
     "format_result",
     "replay_stream",
@@ -199,21 +200,20 @@ def backup_alternates(rib) -> dict:
     }
 
 
-def replay_stream(
-    stream: ColumnarTrace,
-    rib,
-    peer_as: int,
-    local_as: int = 1,
-    swift_config: Optional[SwiftConfig] = None,
-    chunk_messages: int = 50000,
-    swifted: bool = True,
-    local_pref: int = 100,
-    backup_session: bool = True,
-    collect_events: bool = False,
-    column_native: bool = True,
-    kernel_backend: Optional[str] = None,
-) -> MonthReplayResult:
-    """Replay one session's columnar stream through a router.
+class StreamReplayer:
+    """An incrementally-fed month replay — the engine behind
+    :func:`replay_stream`.
+
+    Construction performs the full router setup (initial table load, backup
+    session, provisioning); :meth:`feed` then replays any number of columnar
+    streams *in arrival order* through the same live router, and
+    :meth:`result` snapshots the accumulated counters.  Feeding one whole
+    stream and calling :meth:`result` is exactly :func:`replay_stream`;
+    feeding the same rows split across several calls produces a
+    byte-identical :meth:`~MonthReplayResult.signature`, because chunking
+    and run-splitting never change replay results — the property the live
+    ingestion tail (:class:`repro.ingest.LiveReplay`) relies on to match
+    offline replay window for window.
 
     ``rib`` is the session's pre-trace Adj-RIB-In snapshot (prefix -> AS
     path).  Stream recording is switched off on the replay session — a
@@ -245,127 +245,213 @@ def replay_stream(
     signature.  An explicit choice is injected into the SWIFTED router's
     inference config so the engines honour the same selection.
     """
-    kernel = kernels.get_backend(kernel_backend)
-    losses = 0
-    recoveries = 0
-    reroutes = 0
-    loss_counter: Optional[Counter] = Counter() if collect_events else None
-    recovery_counter: Optional[Counter] = Counter() if collect_events else None
-    reroute_counter: Optional[Counter] = Counter() if collect_events else None
 
-    def count_events(changes) -> None:
-        nonlocal losses, recoveries
-        for change in changes:
-            if change.is_loss_of_reachability:
-                losses += 1
-                if loss_counter is not None:
-                    prefix = change.prefix
-                    loss_counter[(prefix.network, prefix.length)] += 1
-            elif change.is_recovery:
-                recoveries += 1
-                if recovery_counter is not None:
-                    prefix = change.prefix
-                    recovery_counter[(prefix.network, prefix.length)] += 1
-
-    if swifted:
-        if kernel_backend is not None:
-            # The engines resolve their backend from InferenceConfig; inject
-            # the explicit choice so one knob steers the whole path.
-            config = swift_config if swift_config is not None else SwiftConfig()
-            swift_config = replace(
-                config,
-                inference=replace(config.inference, kernel_backend=kernel_backend),
-            )
-        router = SwiftedRouter(local_as, config=swift_config)
-        # Recording off *before* the table loads: neither the initial dump
-        # nor the month of replay messages may accumulate in MessageStream.
-        router.add_peer(peer_as)
-        router.speaker.session(peer_as).record_stream = False
-        router.load_initial_routes(peer_as, rib, local_pref=local_pref)
-        if backup_session:
-            router.add_peer(BACKUP_PEER_AS)
-            router.speaker.session(BACKUP_PEER_AS).record_stream = False
-            router.load_initial_routes(
-                BACKUP_PEER_AS, backup_alternates(rib), local_pref=max(1, local_pref // 2)
-            )
-        speaker = router.speaker
-        speaker.add_best_route_listener(count_events)
-        router.provision()
-        if column_native:
-            receive = lambda chunk: router.receive_columnar(chunk, kernel=kernel)
-        else:
-            receive = _materialising(router.receive_batch)
-    else:
-        speaker = BGPSpeaker(local_as)
-        speaker.add_peer(peer_as)
-        speaker.session(peer_as).record_stream = False
-        from repro.bgp.attributes import PathAttributes
-        from repro.bgp.messages import Update
-
-        interned = {}
-
-        def attributes_for(path):
-            attributes = interned.get(path.asns)
-            if attributes is None:
-                attributes = interned[path.asns] = PathAttributes(
-                    as_path=path, next_hop=peer_as, local_pref=local_pref
-                )
-            return attributes
-
-        speaker.receive_batch(
-            Update.announce(0.0, peer_as, prefix, attributes_for(path))
-            for prefix, path in sorted(rib.items())
+    def __init__(
+        self,
+        rib,
+        peer_as: int,
+        local_as: int = 1,
+        swift_config: Optional[SwiftConfig] = None,
+        chunk_messages: int = 50000,
+        swifted: bool = True,
+        local_pref: int = 100,
+        backup_session: bool = True,
+        collect_events: bool = False,
+        column_native: bool = True,
+        kernel_backend: Optional[str] = None,
+    ) -> None:
+        self.peer_as = peer_as
+        self.swifted = swifted
+        self._chunk_messages = chunk_messages
+        self._kernel = kernels.get_backend(kernel_backend)
+        self._losses = 0
+        self._recoveries = 0
+        self._reroutes = 0
+        self._message_count = 0
+        self._withdrawal_count = 0
+        self._announcement_count = 0
+        self._chunks = 0
+        self._wall_seconds = 0.0
+        self._loss_counter: Optional[Counter] = Counter() if collect_events else None
+        self._recovery_counter: Optional[Counter] = (
+            Counter() if collect_events else None
         )
-        speaker.add_best_route_listener(count_events)
-        if column_native:
-            receive = lambda chunk: speaker.receive_columnar(chunk, kernel=kernel)
-        else:
-            receive = _materialising(speaker.receive_batch)
+        self._reroute_counter: Optional[Counter] = (
+            Counter() if collect_events else None
+        )
 
-    chunks = 0
-    begin = time.perf_counter()
-    for chunk in _chunked_runs(stream, chunk_messages, kernel=kernel):
-        chunks += 1
-        result = receive(chunk)
+        loss_counter = self._loss_counter
+        recovery_counter = self._recovery_counter
+
+        def count_events(changes) -> None:
+            for change in changes:
+                if change.is_loss_of_reachability:
+                    self._losses += 1
+                    if loss_counter is not None:
+                        prefix = change.prefix
+                        loss_counter[(prefix.network, prefix.length)] += 1
+                elif change.is_recovery:
+                    self._recoveries += 1
+                    if recovery_counter is not None:
+                        prefix = change.prefix
+                        recovery_counter[(prefix.network, prefix.length)] += 1
+
+        kernel = self._kernel
         if swifted:
-            reroutes += len(result)
-            if reroute_counter is not None:
-                for action in result:
-                    reroute_counter[
-                        (
-                            action.timestamp,
-                            action.peer_as,
-                            action.inferred_links,
-                            len(action.rerouted_prefixes),
-                            len(action.rules),
-                        )
-                    ] += 1
-    wall_seconds = time.perf_counter() - begin
+            if kernel_backend is not None:
+                # The engines resolve their backend from InferenceConfig;
+                # inject the explicit choice so one knob steers the whole
+                # path.
+                config = swift_config if swift_config is not None else SwiftConfig()
+                swift_config = replace(
+                    config,
+                    inference=replace(
+                        config.inference, kernel_backend=kernel_backend
+                    ),
+                )
+            router = SwiftedRouter(local_as, config=swift_config)
+            # Recording off *before* the table loads: neither the initial
+            # dump nor the month of replay messages may accumulate in
+            # MessageStream.
+            router.add_peer(peer_as)
+            router.speaker.session(peer_as).record_stream = False
+            router.load_initial_routes(peer_as, rib, local_pref=local_pref)
+            if backup_session:
+                router.add_peer(BACKUP_PEER_AS)
+                router.speaker.session(BACKUP_PEER_AS).record_stream = False
+                router.load_initial_routes(
+                    BACKUP_PEER_AS,
+                    backup_alternates(rib),
+                    local_pref=max(1, local_pref // 2),
+                )
+            speaker = router.speaker
+            speaker.add_best_route_listener(count_events)
+            router.provision()
+            if column_native:
+                receive = lambda chunk: router.receive_columnar(chunk, kernel=kernel)
+            else:
+                receive = _materialising(router.receive_batch)
+            self.router: Optional[SwiftedRouter] = router
+        else:
+            speaker = BGPSpeaker(local_as)
+            speaker.add_peer(peer_as)
+            speaker.session(peer_as).record_stream = False
+            from repro.bgp.attributes import PathAttributes
+            from repro.bgp.messages import Update
 
-    return MonthReplayResult(
-        peer_as=peer_as,
-        message_count=stream.message_count,
-        withdrawal_count=stream.withdrawal_total,
-        announcement_count=stream.announcement_total,
-        reroutes=reroutes,
-        losses=losses,
-        recoveries=recoveries,
-        chunks=chunks,
-        wall_seconds=wall_seconds,
-        loss_events=(
-            _canonical_multiset(loss_counter) if loss_counter is not None else None
-        ),
-        recovery_events=(
-            _canonical_multiset(recovery_counter)
-            if recovery_counter is not None
-            else None
-        ),
-        reroute_events=(
-            _canonical_multiset(reroute_counter)
-            if reroute_counter is not None
-            else None
-        ),
+            interned = {}
+
+            def attributes_for(path):
+                attributes = interned.get(path.asns)
+                if attributes is None:
+                    attributes = interned[path.asns] = PathAttributes(
+                        as_path=path, next_hop=peer_as, local_pref=local_pref
+                    )
+                return attributes
+
+            speaker.receive_batch(
+                Update.announce(0.0, peer_as, prefix, attributes_for(path))
+                for prefix, path in sorted(rib.items())
+            )
+            speaker.add_best_route_listener(count_events)
+            if column_native:
+                receive = lambda chunk: speaker.receive_columnar(chunk, kernel=kernel)
+            else:
+                receive = _materialising(speaker.receive_batch)
+            self.router = None
+        self.speaker = speaker
+        self._receive = receive
+
+    def feed(self, stream: ColumnarTrace) -> None:
+        """Replay one columnar stream (or stream window) through the router."""
+        self._message_count += stream.message_count
+        self._withdrawal_count += stream.withdrawal_total
+        self._announcement_count += stream.announcement_total
+        reroute_counter = self._reroute_counter
+        begin = time.perf_counter()
+        for chunk in _chunked_runs(stream, self._chunk_messages, kernel=self._kernel):
+            self._chunks += 1
+            result = self._receive(chunk)
+            if self.swifted:
+                self._reroutes += len(result)
+                if reroute_counter is not None:
+                    for action in result:
+                        reroute_counter[
+                            (
+                                action.timestamp,
+                                action.peer_as,
+                                action.inferred_links,
+                                len(action.rerouted_prefixes),
+                                len(action.rules),
+                            )
+                        ] += 1
+        self._wall_seconds += time.perf_counter() - begin
+
+    def result(self) -> MonthReplayResult:
+        """Snapshot the accumulated counters as a :class:`MonthReplayResult`."""
+        return MonthReplayResult(
+            peer_as=self.peer_as,
+            message_count=self._message_count,
+            withdrawal_count=self._withdrawal_count,
+            announcement_count=self._announcement_count,
+            reroutes=self._reroutes,
+            losses=self._losses,
+            recoveries=self._recoveries,
+            chunks=self._chunks,
+            wall_seconds=self._wall_seconds,
+            loss_events=(
+                _canonical_multiset(self._loss_counter)
+                if self._loss_counter is not None
+                else None
+            ),
+            recovery_events=(
+                _canonical_multiset(self._recovery_counter)
+                if self._recovery_counter is not None
+                else None
+            ),
+            reroute_events=(
+                _canonical_multiset(self._reroute_counter)
+                if self._reroute_counter is not None
+                else None
+            ),
+        )
+
+
+def replay_stream(
+    stream: ColumnarTrace,
+    rib,
+    peer_as: int,
+    local_as: int = 1,
+    swift_config: Optional[SwiftConfig] = None,
+    chunk_messages: int = 50000,
+    swifted: bool = True,
+    local_pref: int = 100,
+    backup_session: bool = True,
+    collect_events: bool = False,
+    column_native: bool = True,
+    kernel_backend: Optional[str] = None,
+) -> MonthReplayResult:
+    """Replay one session's columnar stream through a router.
+
+    The one-shot form of :class:`StreamReplayer` (which carries the full
+    parameter documentation): set up the router, feed the whole stream,
+    return the result.
+    """
+    replayer = StreamReplayer(
+        rib,
+        peer_as,
+        local_as=local_as,
+        swift_config=swift_config,
+        chunk_messages=chunk_messages,
+        swifted=swifted,
+        local_pref=local_pref,
+        backup_session=backup_session,
+        collect_events=collect_events,
+        column_native=column_native,
+        kernel_backend=kernel_backend,
     )
+    replayer.feed(stream)
+    return replayer.result()
 
 
 def run(

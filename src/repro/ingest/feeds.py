@@ -1,0 +1,90 @@
+"""Live feed sources for the ingestion daemon.
+
+A *feed* is anything that yields ``(offset, line)`` pairs of the MRT-like
+line format (:mod:`repro.traces.mrt`) from a given resume offset — the
+offset is the line's ordinal in the feed, and it is the unit of the
+daemon's exactly-once contract: a checkpointed offset means every line
+before it is durably ingested, so a restarted daemon reconnects *at* the
+checkpoint and no line is ever read twice into the dataset.
+
+:class:`SyntheticFeed` is the offline stand-in for a live BGP collector
+session: the same seeded generator the month-replay experiments use
+(:mod:`repro.traces.synthetic`), rendered through the record line format.
+Determinism is the point — reconnecting at offset *k* replays byte-for-byte
+the lines a never-crashed reader would have seen, which is what lets the
+crash-recovery tests compare a killed-and-restarted ingest against the
+straight-through one.
+
+Fault sites (:mod:`repro.testing.faults`): the daemon's reader fires
+``feed.connect`` once per (re)connection and consults ``feed.read`` per
+line — ``corrupt`` mangles the line text (exercising lenient line
+validation), ``hang`` stalls the reader (exercising the heartbeat
+watchdog), ``io_error``/``crash`` abort the read (exercising reconnect
+with backoff).  The async-aware evaluation lives in
+:func:`repro.ingest.daemon.IngestDaemon._read_feed`; feeds themselves are
+plain synchronous iterators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.traces.mrt import messages_to_records
+from repro.traces.synthetic import SyntheticTraceConfig, SyntheticTraceGenerator
+
+__all__ = ["SyntheticFeed"]
+
+
+class SyntheticFeed:
+    """A deterministic line feed derived from one synthetic collector session.
+
+    ``rate`` (lines per second, ``None`` = unthrottled) paces the daemon's
+    reader — the knob that makes an ingest run behave like a live session
+    instead of a bulk load.  ``name`` defaults to ``peer-<AS>`` and names
+    the feed's segment directory, its manifest record and its fault keys.
+    """
+
+    def __init__(
+        self,
+        config: SyntheticTraceConfig,
+        peer_as: int,
+        name: Optional[str] = None,
+        rate: Optional[float] = None,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None for unthrottled)")
+        self.config = config
+        self.peer_as = peer_as
+        self.name = name if name is not None else f"peer-{peer_as}"
+        self.rate = rate
+
+    def connect(self, offset: int = 0) -> Iterator[Tuple[int, str]]:
+        """Yield ``(offset, line)`` pairs starting at feed offset ``offset``.
+
+        The generator re-derives the session stream from its seed, so a
+        reconnect at any offset yields exactly the lines a continuous read
+        would have — skipped lines are generated and discarded, which costs
+        O(offset) work but keeps the feed stateless between connections
+        (the shape a real collector replay from an archive has too).
+        """
+        stream = SyntheticTraceGenerator(self.config).stream()
+
+        def lines() -> Iterator[Tuple[int, str]]:
+            index = 0
+            for message in stream.iter_messages(self.peer_as):
+                for record in messages_to_records([message]):
+                    if index >= offset:
+                        yield index, record.to_line()
+                    index += 1
+
+        return lines()
+
+    def rib(self):
+        """The session's pre-trace Adj-RIB-In snapshot (for replay setup)."""
+        return SyntheticTraceGenerator(self.config).stream().rib_of(self.peer_as)
+
+    def __repr__(self) -> str:
+        return (
+            f"SyntheticFeed({self.name!r}, peer_as={self.peer_as}, "
+            f"rate={self.rate})"
+        )

@@ -1,0 +1,389 @@
+"""Rolling columnar segments with a crash-safe append log.
+
+Each feed ingests into a directory of its own under the ingest root::
+
+    <root>/<feed>/seg-00000.cols     sealed segments (mmap column store)
+    <root>/<feed>/seg-00002.log      the open segment's append log
+    <root>/MANIFEST.json             the shared checkpoint (one per root)
+
+A segment lives twice.  While *open* it is an in-memory
+:class:`~repro.traces.columnar.ColumnarTrace` shadowed by an append log
+(:class:`~repro.traces.columnar_store.SegmentAppendLog`) whose frames hold
+the raw feed lines plus a checkpoint token ``{offset, last_time}``; a
+frame is acknowledged once ``fsync`` returns.  At *roll* time the trace is
+sealed into an ordinary ``.cols`` column store and the log is retired.
+
+**The roll ordering is the recovery contract.**  :meth:`SegmentWriter.roll`
+performs, in order: (1) flush + fsync the log, (2) atomically write
+``seg-<N>.cols``, (3) atomically update the manifest (segment entry +
+``open_seq`` bump), (4) unlink ``seg-<N>.log``.  Recovery
+(:func:`recover_feed`) inverts each crash window unambiguously:
+
+* died before (3): the manifest does not know the ``.cols`` — the log is
+  the authority, so any orphan ``seg-<N>.cols`` with ``N >= open_seq`` is
+  deleted and the open segment is rebuilt from the log (the re-roll later
+  rewrites it from the same rows);
+* died after (3) but before (4): the rows are sealed — the stale
+  ``seg-<N>.log`` with ``N`` already sealed (or below ``open_seq``) is
+  deleted, because replaying it would ingest every row twice;
+* died mid-append: the log's torn tail fails its frame CRC and is
+  truncated; a torn frame was never fsync'd, hence never acknowledged.
+
+Rebuilding replays the log's lines through the same incremental parser
+(:class:`RowParser`) with the watermark the manifest checkpointed at the
+last seal, so the recovered rows are byte-identical to the pre-crash open
+trace — no acknowledged row is lost, no row appears twice.
+
+Fault sites: ``segment.append`` fires per flush (key ``<feed>:<seq>``);
+``segment.roll`` fires once per roll *phase* (keys ``<feed>:<seq>:start``
+/ ``:sealed`` / ``:manifest``), bracketing exactly the three crash windows
+above.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.columnar_store import SegmentAppendLog, write_trace
+from repro.traces.mrt import TraceRecord
+from repro.traces.validation import TraceValidationError, ValidationReport
+from repro.util.atomic import fsync_directory, write_atomic
+
+from repro.ingest.manifest import Manifest
+
+__all__ = ["FeedRecovery", "RowParser", "SegmentWriter", "recover_feed"]
+
+_SEGMENT_FILE = re.compile(r"^seg-(\d+)\.(log|cols)$")
+
+
+def _log_name(seq: int) -> str:
+    return f"seg-{seq:05d}.log"
+
+
+def _cols_name(seq: int) -> str:
+    return f"seg-{seq:05d}.cols"
+
+
+def _fire(site: str, key: str, supervised: bool) -> None:
+    """Consult the fault harness at an ingest hook (no-op when idle)."""
+    from repro.testing import faults
+
+    injector = faults.active_injector()
+    if injector is not None:
+        injector.fire(site, key=key, in_worker=supervised)
+
+
+class RowParser:
+    """Incremental twin of :func:`repro.traces.mrt.records_to_columnar`.
+
+    Applies the same per-record checks (non-positive peer AS, non-monotone
+    timestamp), the same column appends and the same attribute interning —
+    but one record at a time, with the monotonicity watermark
+    (``previous_time``) carried across flushes, segments and daemon
+    restarts.  Feeding the same records through this parser in any
+    grouping therefore produces exactly the rows one offline
+    ``records_to_columnar`` pass over the whole stream would — the
+    invariant behind the live-tail / offline replay parity guarantee.
+    """
+
+    def __init__(
+        self,
+        report: Optional[ValidationReport] = None,
+        previous_time: Optional[float] = None,
+    ) -> None:
+        self.report = report if report is not None else ValidationReport(lenient=True)
+        self.previous_time = previous_time
+        # Records repeat (path, peer) pairs heavily; interning the
+        # constructed attribute objects keeps the pool's value-keyed dedup
+        # from rebuilding an identical PathAttributes per record.
+        self._attributes_of: dict = {}
+
+    def append(self, trace: ColumnarTrace, record: TraceRecord) -> bool:
+        """Append one record to ``trace``; False if validation skipped it."""
+        from repro.bgp.attributes import PathAttributes
+        from repro.bgp.messages import Notification
+
+        report = self.report
+        report.checked += 1
+        if record.peer_as < 1:
+            report.flag(
+                "invalid-peer", f"record {report.checked}: peer AS {record.peer_as}"
+            )
+            return False
+        if self.previous_time is not None and record.timestamp < self.previous_time:
+            report.flag(
+                "non-monotone-timestamp",
+                f"record {report.checked}: {record.timestamp} after "
+                f"{self.previous_time}",
+            )
+            return False
+        self.previous_time = record.timestamp
+        if record.type == "W":
+            assert record.prefix is not None
+            trace.withdraw(record.timestamp, record.peer_as, record.prefix)
+        elif record.type in ("A", "R"):
+            assert record.prefix is not None and record.as_path is not None
+            key = (record.as_path.asns, record.peer_as)
+            attributes = self._attributes_of.get(key)
+            if attributes is None:
+                attributes = self._attributes_of[key] = PathAttributes(
+                    as_path=record.as_path,
+                    next_hop=record.as_path.first_hop or record.peer_as,
+                )
+            trace.announce(record.timestamp, record.peer_as, record.prefix, attributes)
+        elif record.type == "S":
+            trace.append(
+                Notification(timestamp=record.timestamp, peer_as=record.peer_as)
+            )
+        return True
+
+
+@dataclass
+class FeedRecovery:
+    """What :func:`recover_feed` reconstructed for one feed."""
+
+    open_seq: int
+    #: Feed offset to resume reading at (everything before it is durable).
+    next_offset: int
+    #: Parser monotonicity watermark as of the last *seal* (the open log's
+    #: lines re-advance it during rebuild).
+    last_time: Optional[float]
+    #: Raw lines of the open segment, recovered from fsync'd log frames.
+    open_lines: List[str] = field(default_factory=list)
+    sealed_rows: int = 0
+
+
+def recover_feed(root: str, name: str, manifest: Manifest) -> FeedRecovery:
+    """Repair a feed directory after a crash and reconstruct resume state.
+
+    Applies the crash-window rules from the module docstring (sweep
+    ``*.tmp`` litter, delete orphan ``.cols``, delete stale logs, truncate
+    the open log's torn tail) and returns the open segment's recovered
+    lines plus the offset/watermark to resume from.  Safe to run on a
+    clean directory (it is the normal startup path, not a special case).
+    """
+    state = manifest.feed_state(name)
+    directory = os.path.join(root, name)
+    os.makedirs(directory, exist_ok=True)
+    open_seq = state["open_seq"]
+    sealed_seqs = {entry["seq"] for entry in state["sealed"]}
+    for entry_name in sorted(os.listdir(directory)):
+        path = os.path.join(directory, entry_name)
+        if entry_name.endswith(".tmp"):
+            # write_atomic cleans up on exceptions, but kill -9 skips
+            # finally blocks; sweep the litter here.
+            os.unlink(path)
+            continue
+        matched = _SEGMENT_FILE.match(entry_name)
+        if matched is None:
+            continue
+        seq, kind = int(matched.group(1)), matched.group(2)
+        if kind == "cols" and seq not in sealed_seqs:
+            # Died between the sealed write and the manifest checkpoint:
+            # the log is the authority, the unacknowledged .cols is rebuilt
+            # at the next roll.
+            os.unlink(path)
+        elif kind == "log" and (seq in sealed_seqs or seq != open_seq):
+            # Died between the manifest checkpoint and the log unlink:
+            # these rows are already sealed; replaying the log would
+            # duplicate every one of them.
+            os.unlink(path)
+    fsync_directory(directory)
+
+    payloads = SegmentAppendLog.recover(os.path.join(directory, _log_name(open_seq)))
+    open_lines: List[str] = []
+    next_offset = state["next_offset"]
+    for payload in payloads:
+        open_lines.extend(payload["lines"])
+        next_offset = payload["offset"]
+    return FeedRecovery(
+        open_seq=open_seq,
+        next_offset=next_offset,
+        last_time=state["last_time"],
+        open_lines=open_lines,
+        sealed_rows=manifest.sealed_rows(name),
+    )
+
+
+class SegmentWriter:
+    """Appends one feed's lines into rolling, crash-safe segments.
+
+    Lines are parsed into the open trace immediately (`add_line`) and
+    buffered raw; :meth:`flush` writes them as one fsync'd log frame —
+    the acknowledgement point — and :meth:`roll` seals the open trace into
+    a ``.cols`` store under the ordering contract documented on the
+    module.  A failed flush truncates the log back to its durable end, so
+    a retry never appends after a torn frame.  ``rows_acked`` counts the
+    durable rows (sealed + fsync'd open); rows parsed but not yet flushed
+    are exactly the ones a crash right now would (legitimately) lose.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        feed_name: str,
+        manifest: Manifest,
+        recovery: Optional[FeedRecovery] = None,
+        supervised: bool = False,
+        line_report: Optional[ValidationReport] = None,
+    ) -> None:
+        self.feed_name = feed_name
+        self.directory = os.path.join(root, feed_name)
+        os.makedirs(self.directory, exist_ok=True)
+        self._manifest = manifest
+        self._state = manifest.feed_state(feed_name)
+        self._supervised = supervised
+        if recovery is None:
+            recovery = recover_feed(root, feed_name, manifest)
+        self.seq = recovery.open_seq
+        self.next_offset = recovery.next_offset
+        #: Line-level lenient validation (blank/malformed feed lines).
+        self.line_report = (
+            line_report if line_report is not None else ValidationReport(lenient=True)
+        )
+        self.parser = RowParser(previous_time=recovery.last_time)
+        self.trace = ColumnarTrace()
+        self._log = SegmentAppendLog(os.path.join(self.directory, _log_name(self.seq)))
+        # Recovered lines are already durable in the log: rebuild the open
+        # trace from them without re-logging.
+        for line in recovery.open_lines:
+            self._ingest_line(line)
+        self._sealed_rows = recovery.sealed_rows
+        self.rows_acked = self._sealed_rows + len(self.trace)
+        self._pending: List[str] = []
+        self._pending_offset = self.next_offset
+
+    # -- parsing -------------------------------------------------------------
+
+    def _ingest_line(self, text: str) -> None:
+        """One line through lenient line parse + incremental row append."""
+        line = text.strip()
+        if not line or line.startswith("#"):
+            return
+        report = self.line_report
+        report.checked += 1
+        try:
+            record = TraceRecord.from_line(line)
+        except TraceValidationError as error:
+            if not report.lenient:
+                raise
+            report.note(error)
+            return
+        self.parser.append(self.trace, record)
+
+    # -- write path ----------------------------------------------------------
+
+    @property
+    def open_rows(self) -> int:
+        """Rows in the open segment (flushed or not)."""
+        return len(self.trace)
+
+    @property
+    def pending_lines(self) -> int:
+        """Lines added since the last flush (at risk until then)."""
+        return len(self._pending)
+
+    def add_line(self, offset: int, text: str) -> None:
+        """Parse one feed line into the open segment and buffer it raw."""
+        self._ingest_line(text)
+        self._pending.append(text)
+        self._pending_offset = offset + 1
+
+    def flush(self) -> int:
+        """Write buffered lines as one fsync'd frame; advance the ack point.
+
+        Raises whatever the log write raised (injected or real IO errors)
+        *after* truncating the log back to its durable end, so the caller
+        can simply retry — the buffered lines stay pending and the open
+        trace already holds their rows.
+        """
+        if not self._pending:
+            return 0
+        _fire("segment.append", f"{self.feed_name}:{self.seq}", self._supervised)
+        try:
+            self._log.append(
+                {
+                    "lines": self._pending,
+                    "offset": self._pending_offset,
+                    "last_time": self.parser.previous_time,
+                }
+            )
+            self._log.sync()
+        except Exception:
+            self._log.truncate_to_durable()
+            raise
+        count = len(self._pending)
+        self._pending = []
+        self.next_offset = self._pending_offset
+        self.rows_acked = self._sealed_rows + len(self.trace)
+        return count
+
+    def roll(self) -> Optional[dict]:
+        """Seal the open segment into a ``.cols`` store; start the next one.
+
+        Returns the new manifest entry, or ``None`` when the open segment
+        holds no rows (nothing to seal).  Re-entrant after a mid-roll
+        failure: a retry skips the phases the manifest already records.
+        """
+        state = self._state
+        key = f"{self.feed_name}:{self.seq}"
+        if state["open_seq"] <= self.seq:
+            _fire("segment.roll", f"{key}:start", self._supervised)
+            self.flush()
+            if not len(self.trace):
+                return None
+            trace = self.trace
+            cols_name = _cols_name(self.seq)
+            info: dict = {}
+
+            def writer(temp_path: str) -> None:
+                write_trace(temp_path, trace)
+
+            def hook(temp_path: str) -> None:
+                with open(temp_path, "rb") as handle:
+                    data = handle.read()
+                info["crc"] = zlib.crc32(data)
+                info["bytes"] = len(data)
+
+            write_atomic(os.path.join(self.directory, cols_name), writer, hook=hook)
+            _fire("segment.roll", f"{key}:sealed", self._supervised)
+            state["sealed"].append(
+                {
+                    "seq": self.seq,
+                    "file": cols_name,
+                    "rows": len(trace),
+                    "crc": info["crc"],
+                    "bytes": info["bytes"],
+                    "first_time": trace.first_timestamp,
+                    "last_time": trace.last_timestamp,
+                    "offset_end": self.next_offset,
+                }
+            )
+            state["open_seq"] = self.seq + 1
+            state["next_offset"] = self.next_offset
+            state["last_time"] = self.parser.previous_time
+            self._manifest.save()
+        _fire("segment.roll", f"{key}:manifest", self._supervised)
+        entry = state["sealed"][-1]
+        # The manifest now vouches for the .cols; the log is retired.
+        self._log.close()
+        log_path = os.path.join(self.directory, _log_name(self.seq))
+        if os.path.exists(log_path):
+            os.unlink(log_path)
+        fsync_directory(self.directory)
+        self._sealed_rows += entry["rows"]
+        self.seq += 1
+        self.trace = ColumnarTrace()
+        self._log = SegmentAppendLog(
+            os.path.join(self.directory, _log_name(self.seq))
+        )
+        self.rows_acked = self._sealed_rows
+        return entry
+
+    def close(self) -> None:
+        self._log.close()

@@ -50,7 +50,6 @@ import time
 from array import array
 from collections import Counter
 from dataclasses import dataclass, field, replace
-from random import Random
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.swifted_router import SwiftConfig
@@ -68,6 +67,7 @@ from repro.traces.synthetic import (
     SyntheticTraceGenerator,
     cached_columnar_stream,
 )
+from repro.util.retry import RetryPolicy
 
 __all__ = [
     "FailedSession",
@@ -85,44 +85,6 @@ __all__ = [
 
 class FleetReplayError(RuntimeError):
     """A session exhausted its retry budget under ``strict=True``."""
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """How the fleet driver retries failing session jobs.
-
-    ``max_attempts`` counts the first try: the default of 3 means one try
-    plus two retries.  The delay before attempt ``n``'s resubmission is
-    ``min(backoff_base * backoff_factor**n, backoff_max)`` stretched by a
-    deterministic jitter fraction in ``[0, jitter]`` — seeded, so reruns
-    sleep identically.  ``timeout`` (seconds) bounds each *pooled* job
-    attempt; a worker that blows it is presumed hung, its process is
-    reclaimed and the job is charged one attempt (inline ``workers=1``
-    replay has no preemption point, so the timeout applies only to pool
-    runs).
-    """
-
-    max_attempts: int = 3
-    timeout: Optional[float] = None
-    backoff_base: float = 0.05
-    backoff_factor: float = 2.0
-    backoff_max: float = 2.0
-    jitter: float = 0.25
-    seed: int = 0
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
-        if self.timeout is not None and self.timeout <= 0:
-            raise ValueError(f"timeout must be positive, got {self.timeout}")
-
-    def delay(self, attempt: int) -> float:
-        """Seconds to back off before resubmitting attempt ``attempt + 1``."""
-        base = min(self.backoff_base * (self.backoff_factor**attempt), self.backoff_max)
-        if self.jitter <= 0:
-            return base
-        fraction = Random(f"{self.seed}:{attempt}").random()
-        return base * (1.0 + self.jitter * fraction)
 
 
 @dataclass(frozen=True)

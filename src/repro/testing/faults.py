@@ -5,8 +5,33 @@ partial-failure conditions in its *own* machinery that the paper studies in
 the control plane.  This module is the harness that proves it: seeded
 injectors for worker crashes, hard worker kills, worker hangs, IO errors
 and byte-level blob corruption, wired into narrow hooks at the production
-call sites (``fleet.worker``, ``store.open``, ``store.read``,
-``cache.write``).  With no plan configured every hook is a no-op.
+call sites.  With no plan configured every hook is a no-op.
+
+The full site table (each row names the hook, its per-call key, and which
+kinds make sense there — also documented in
+``src/repro/replay/README.md``):
+
+========================= ================================== =======================
+site                      key                                typical kinds
+========================= ================================== =======================
+``fleet.worker``          ``session:<peer_as>``              crash, kill, hang
+``store.open``            ``<.cols file name>``              io_error
+``store.read``            ``<.cols file name>``              io_error
+``cache.write``           ``<cache entry name>``             io_error, corrupt
+``feed.connect``          ``<feed name>``                    crash, io_error
+``feed.read``             ``<feed name>``                    io_error, corrupt, hang
+``segment.append``        ``<feed>:<segment>``               crash, kill, io_error
+``segment.roll``          ``<feed>:<segment>:<phase>``       crash, kill, io_error
+========================= ================================== =======================
+
+The ``feed.*`` / ``segment.*`` sites live in the streaming ingestion
+daemon (:mod:`repro.ingest`): ``feed.read``'s ``corrupt`` mangles the line
+text (a malformed feed line, counted-and-skipped by lenient validation)
+and its ``hang`` stalls the reader (exercising the heartbeat watchdog);
+``segment.roll`` fires once per roll *phase* — keys
+``...:start`` / ``...:sealed`` / ``...:manifest`` — so a test can kill the
+daemon between the sealed-segment write, the manifest checkpoint and the
+log cleanup, the three windows the crash-recovery contract covers.
 
 Two activation channels, both deterministic:
 
@@ -25,10 +50,13 @@ Determinism has two axes:
 * *which keys fire*: a spec with ``rate < 1`` selects keys by a seeded
   coin — a stable hash of ``(seed, site, key, kind)`` — so the same
   sessions fail in every process and every rerun;
-* *when they stop*: a spec fires while ``attempt < times`` (callers that
-  retry pass the real attempt number, so retried work self-heals even
-  across pool restarts); sites without a natural attempt count occurrences
-  per ``(spec, key)`` within the process instead.
+* *when they stop*: a spec fires while ``after <= attempt < after + times``
+  (callers that retry pass the real attempt number, so retried work
+  self-heals even across pool restarts); sites without a natural attempt
+  count occurrences per ``(spec, key)`` within the process instead.
+  ``after=K`` skips the first ``K`` occurrences — which is how the
+  crash-recovery property tests express "``kill -9`` at the K-th seeded
+  injection point".
 
 The textual plan grammar (``REPRO_FAULTS``) is ``,``-separated specs of
 ``kind@site`` followed by optional ``;field=value`` pairs::
@@ -90,9 +118,13 @@ class FaultSpec:
 
     ``times`` bounds how often the spec fires per key: against the caller's
     ``attempt`` number when one is passed (retried work self-heals once
-    ``attempt >= times``), else against a per-process occurrence counter.
-    ``rate`` thins the matched keys with a seeded coin, so ``rate=0.5``
-    deterministically fails *the same* half of the fleet in every process.
+    ``attempt >= after + times``), else against a per-process occurrence
+    counter.  ``after`` skips the first ``after`` occurrences before the
+    spec arms — ``after=7;times=1`` fires exactly at the 8th occurrence,
+    the knob the crash-recovery tests use to place a kill at a seeded
+    injection point.  ``rate`` thins the matched keys with a seeded coin,
+    so ``rate=0.5`` deterministically fails *the same* half of the fleet
+    in every process.
     """
 
     kind: str
@@ -101,6 +133,7 @@ class FaultSpec:
     rate: float = 1.0
     match: str = "*"
     hang_seconds: float = 3600.0
+    after: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -117,6 +150,8 @@ class FaultSpec:
             parts.append(f"match={self.match}")
         if self.hang_seconds != 3600.0:
             parts.append(f"hang={self.hang_seconds:g}")
+        if self.after:
+            parts.append(f"after={self.after}")
         return ";".join(parts)
 
     @classmethod
@@ -140,6 +175,8 @@ class FaultSpec:
                 spec = replace(spec, match=value.strip())
             elif name == "hang":
                 spec = replace(spec, hang_seconds=float(value))
+            elif name == "after":
+                spec = replace(spec, after=int(value))
             else:
                 raise ValueError(f"unknown fault field {name!r} in {text!r}")
         return spec
@@ -234,7 +271,7 @@ class FaultInjector:
                 self._occurrences[counter_key] = occurrence + 1
             else:
                 occurrence = attempt
-            if occurrence < spec.times:
+            if spec.after <= occurrence < spec.after + spec.times:
                 return spec
         return None
 

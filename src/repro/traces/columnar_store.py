@@ -63,9 +63,11 @@ from repro.traces.columnar import (
 )
 
 __all__ = [
+    "LOG_VERSION",
     "STORE_VERSION",
     "ColumnarTraceFile",
     "CorruptColumnStoreError",
+    "SegmentAppendLog",
     "read_trace",
     "write_trace",
 ]
@@ -399,3 +401,146 @@ def read_trace(path: str) -> ColumnarTrace:
     """Convenience: open, fully load and close a store file."""
     with ColumnarTraceFile(path) as store:
         return store.load()
+
+
+# -- append-mode segment log -------------------------------------------------
+
+_LOG_MAGIC = b"RPROSEGL"
+#: Bump when the append-log framing (not the frame payloads) changes.
+LOG_VERSION = 1
+
+_LOG_FRAME = struct.Struct("<II")  # payload length, payload CRC32
+
+
+class SegmentAppendLog:
+    """A crash-safe append-only frame log — the *open* half of a segment.
+
+    A ``.cols`` store is written once and sealed; the ingestion daemon's
+    open segment instead grows a row at a time and must survive ``kill -9``
+    mid-append.  This log is the durability substrate: the file is::
+
+        magic "RPROSEGL" | u32 log version | frames...
+
+    where each frame is ``u32 payload length | u32 CRC32(payload) | pickled
+    payload``.  The payload is opaque to the log (the ingestion layer stores
+    batches of feed lines plus a checkpoint token); the log owns only the
+    framing and its recovery discipline:
+
+    * :meth:`append` buffers a frame into the OS file; :meth:`sync` flushes
+      and ``fsync``\\ s, advancing ``durable_end`` — everything at or before
+      ``durable_end`` survives any crash;
+    * a *failed* append or sync leaves garbage bytes past ``durable_end``;
+      :meth:`truncate_to_durable` cuts the file back so a retried append
+      never lands after a torn frame (recovery stops at the first bad
+      frame, so garbage in the middle would silently orphan everything
+      written after it);
+    * :meth:`scan` replays a log from disk: frames are read until EOF, a
+      short read, an insane length or a CRC mismatch — whichever comes
+      first — and the byte offset of the last *valid* frame end is
+      returned, so recovery can truncate the torn tail and resume
+      appending.  A fsync'd frame can never be lost this way; a torn tail
+      was by definition never acknowledged.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        self._handle = open(path, "ab")
+        if not exists:
+            self._handle.write(_LOG_MAGIC)
+            self._handle.write(_VERSION.pack(LOG_VERSION))
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        #: End of the last fsync'd (or pre-existing, already-scanned) frame.
+        self.durable_end = self._handle.tell()
+
+    def append(self, payload: object) -> None:
+        """Buffer one frame; durable only after :meth:`sync` returns."""
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self._handle.write(_LOG_FRAME.pack(len(body), zlib.crc32(body)))
+        self._handle.write(body)
+
+    def sync(self) -> None:
+        """Flush and fsync; everything appended so far becomes durable."""
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.durable_end = self._handle.tell()
+
+    def truncate_to_durable(self) -> None:
+        """Cut back to the last durable frame end after a failed append."""
+        self._handle.flush()
+        self._handle.truncate(self.durable_end)
+        self._handle.seek(self.durable_end)
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "SegmentAppendLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @classmethod
+    def scan(cls, path: str) -> Tuple[List[object], int]:
+        """Read every valid frame payload; returns ``(payloads, valid_end)``.
+
+        ``valid_end`` is the byte offset just past the last frame that
+        parsed and checksummed cleanly — the truncation point for
+        :meth:`recover`.  A missing or headerless file scans as empty.
+        """
+        header_size = len(_LOG_MAGIC) + _VERSION.size
+        try:
+            handle = open(path, "rb")
+        except FileNotFoundError:
+            return [], 0
+        payloads: List[object] = []
+        with handle:
+            header = handle.read(header_size)
+            if len(header) < header_size or header[: len(_LOG_MAGIC)] != _LOG_MAGIC:
+                return [], 0
+            (version,) = _VERSION.unpack(header[len(_LOG_MAGIC) :])
+            if version != LOG_VERSION:
+                raise CorruptColumnStoreError(
+                    f"{path}: segment log v{version}, running code expects "
+                    f"v{LOG_VERSION}"
+                )
+            file_size = os.fstat(handle.fileno()).st_size
+            valid_end = header_size
+            while True:
+                frame_header = handle.read(_LOG_FRAME.size)
+                if len(frame_header) < _LOG_FRAME.size:
+                    break
+                length, crc = _LOG_FRAME.unpack(frame_header)
+                if valid_end + _LOG_FRAME.size + length > file_size:
+                    break  # torn tail: frame extends past end of file
+                body = handle.read(length)
+                if len(body) < length or zlib.crc32(body) != crc:
+                    break
+                try:
+                    payloads.append(pickle.loads(body))
+                except Exception:
+                    break
+                valid_end += _LOG_FRAME.size + length
+        return payloads, valid_end
+
+    @classmethod
+    def recover(cls, path: str) -> List[object]:
+        """Scan, truncate the torn tail in place, and return the payloads.
+
+        After this the file ends exactly at the last valid frame, so a
+        reopened log appends cleanly; a file that never got its header
+        (killed during creation) is removed so it is recreated whole.
+        """
+        payloads, valid_end = cls.scan(path)
+        if not os.path.exists(path):
+            return payloads
+        if valid_end == 0:
+            os.unlink(path)
+            return payloads
+        if os.path.getsize(path) > valid_end:
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_end)
+                os.fsync(handle.fileno())
+        return payloads

@@ -56,6 +56,8 @@ import tempfile
 import time
 from typing import Any, Callable, Optional
 
+from repro.util.atomic import write_atomic
+
 logger = logging.getLogger(__name__)
 
 __all__ = [
@@ -221,64 +223,18 @@ def _fault_hook(temp_path: str, final_path: str) -> None:
         faults.corrupt_file(temp_path, seed=injector.plan.seed)
 
 
-def _fsync_file(path: str) -> None:
-    """Force a written file's contents to stable storage."""
-    fd = os.open(path, os.O_RDONLY)
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
-
-
-def _fsync_directory(directory: str) -> None:
-    """Force a directory entry update (the rename) to stable storage.
-
-    Best-effort: not every platform allows opening a directory for fsync.
-    """
-    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
-    try:
-        fd = os.open(directory, flags)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
-
-
 def _write_atomic(path: str, writer: Callable[[str], None]) -> None:
     """Write a cache entry via temp file + fsync + rename.
 
-    ``writer(temp_path)`` produces the file contents.  The temp file is
-    ``fsync``\\ ed *before* the rename — so a crash at any point leaves
-    either no entry or a complete one, never a torn blob under the final
-    name (the failure mode the column-store checksums detect; the fsync
-    prevents it) — and the directory is fsynced after, making the rename
-    itself durable.  The temp file is removed in a ``finally`` block
-    (surviving even :class:`KeyboardInterrupt` during the write), so an
-    interrupted writer cannot orphan it; if the unlink itself fails, the
-    stale-tmp sweep on a later write or :func:`clear_cache` picks the file
-    up.
+    Delegates to :func:`repro.util.atomic.write_atomic` (shared with the
+    ingestion manifest/segment writers) after sweeping stale ``.tmp``
+    litter, with the fault-injection hook pointed between the write and
+    the fsync — exactly where a real torn write would land.
     """
     directory = os.path.dirname(path)
     os.makedirs(directory, exist_ok=True)
     _sweep_stale_tmp(directory)
-    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    os.close(fd)
-    try:
-        writer(temp_path)
-        _fault_hook(temp_path, path)
-        _fsync_file(temp_path)
-        os.replace(temp_path, path)
-        _fsync_directory(directory)
-    finally:
-        if os.path.exists(temp_path):
-            try:
-                os.unlink(temp_path)
-            except OSError:
-                pass  # the stale-tmp sweep will reclaim it
+    write_atomic(path, writer, hook=lambda temp_path: _fault_hook(temp_path, path))
 
 
 #: Entries already quarantine-logged this process (one warning per blob).

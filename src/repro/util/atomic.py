@@ -1,0 +1,83 @@
+"""Crash-safe file replacement: temp file + fsync + rename.
+
+The durability discipline every on-disk artifact of this tree follows —
+trace-cache blobs, sealed ingestion segments, the ingestion manifest: write
+the new contents to a temp file *in the destination directory*, fsync the
+temp file, ``os.replace`` it over the final name, then fsync the directory
+so the rename itself is durable.  A crash (or ``kill -9``) at any point
+leaves either the old file or the complete new one under the final name,
+never a torn hybrid.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Callable, Optional
+
+__all__ = ["fsync_directory", "fsync_file", "write_atomic"]
+
+
+def fsync_file(path: str) -> None:
+    """Force a written file's contents to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_directory(directory: str) -> None:
+    """Force a directory entry update (a rename/unlink) to stable storage.
+
+    Best-effort: not every platform allows opening a directory for fsync.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(directory, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_atomic(
+    path: str,
+    writer: Callable[[str], None],
+    hook: Optional[Callable[[str], None]] = None,
+) -> None:
+    """Write ``path`` via temp file + fsync + rename.
+
+    ``writer(temp_path)`` produces the file contents.  The temp file is
+    ``fsync``\\ ed *before* the rename — so a crash at any point leaves
+    either no entry (or the old one) or a complete new one, never a torn
+    blob under the final name — and the directory is fsynced after, making
+    the rename itself durable.  ``hook`` (if given) runs between the write
+    and the fsync; the trace cache points it at the fault-injection
+    harness so tests can corrupt or abort exactly there.  The temp file is
+    removed in a ``finally`` block (surviving even
+    :class:`KeyboardInterrupt` during the write), so an interrupted writer
+    cannot orphan it permanently; callers that sweep ``*.tmp`` litter do so
+    before calling in.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    os.close(fd)
+    try:
+        writer(temp_path)
+        if hook is not None:
+            hook(temp_path)
+        fsync_file(temp_path)
+        os.replace(temp_path, path)
+        fsync_directory(directory)
+    finally:
+        if os.path.exists(temp_path):
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass  # a stale-tmp sweep will reclaim it

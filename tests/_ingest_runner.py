@@ -1,0 +1,82 @@
+"""Subprocess entry point for the ingest crash-recovery tests.
+
+Runs the ingestion daemon over a fixed tiny synthetic corpus in
+*supervised* mode (so injected ``kill`` faults hard-exit the process, the
+``kill -9`` the recovery contract is tested against) and reports durable
+progress on stdout::
+
+    ACK <feed> <rows> <offset>     after every fsync'd flush / seal
+    DONE <total rows>              after a clean, complete run
+
+Faults arrive purely through the environment (``REPRO_FAULTS`` /
+``REPRO_FAULT_SEED``), which is also how a restarted run is made clean.
+The leading underscore keeps pytest from collecting this as a test
+module; the test suite imports its corpus constants so the offline
+comparator ingests exactly the same lines.
+
+Usage: ``python tests/_ingest_runner.py <root> [segment_rows] [flush_rows]``
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.ingest import IngestConfig, IngestDaemon, SyntheticFeed  # noqa: E402
+from repro.traces.synthetic import (  # noqa: E402
+    SyntheticTraceConfig,
+    SyntheticTraceGenerator,
+)
+from repro.util.retry import RetryPolicy  # noqa: E402
+
+#: The corpus every recovery scenario ingests: two small sessions, enough
+#: rows for several segments at the default segment_rows below.
+CORPUS = SyntheticTraceConfig(
+    peer_count=2,
+    duration_days=0.3,
+    min_table_size=120,
+    max_table_size=260,
+    burst_size_minimum=60,
+    noise_rate_per_second=0.03,
+    seed=11,
+)
+
+DEFAULT_SEGMENT_ROWS = 120
+DEFAULT_FLUSH_ROWS = 16
+
+
+def corpus_peers():
+    """The corpus' peer ASes, in fleet order."""
+    return [peer.peer_as for peer in SyntheticTraceGenerator(CORPUS).stream().peers]
+
+
+def build_feeds():
+    return [SyntheticFeed(CORPUS, peer_as) for peer_as in corpus_peers()]
+
+
+def main() -> None:
+    root = sys.argv[1]
+    segment_rows = int(sys.argv[2]) if len(sys.argv) > 2 else DEFAULT_SEGMENT_ROWS
+    flush_rows = int(sys.argv[3]) if len(sys.argv) > 3 else DEFAULT_FLUSH_ROWS
+
+    def ack(name: str, rows: int, offset: int) -> None:
+        print(f"ACK {name} {rows} {offset}", flush=True)
+
+    daemon = IngestDaemon(
+        root,
+        build_feeds(),
+        IngestConfig(
+            flush_rows=flush_rows,
+            segment_rows=segment_rows,
+            stall_timeout=2.0,
+            retry=RetryPolicy(max_attempts=4, backoff_base=0.01, backoff_max=0.05),
+            supervised=True,
+        ),
+        ack=ack,
+    )
+    result = daemon.run()
+    print(f"DONE {result.total_rows}", flush=True)
+
+
+if __name__ == "__main__":
+    main()
