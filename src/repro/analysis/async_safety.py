@@ -1,0 +1,128 @@
+"""Rule ``async-safety``: nothing blocks the ingest daemon's event loop.
+
+The always-on ingestion daemon (:mod:`repro.ingest.daemon`) is a single
+asyncio loop supervising every feed's reader, writer and the watchdog.  A
+synchronous sleep, fsync or subprocess call inside an ``async def`` stalls
+*all* of them at once — including the watchdog whose whole job is to catch
+stalls — so blocking work must go through an executor
+(``loop.run_in_executor`` / ``asyncio.to_thread``), an async-aware twin
+(e.g. :func:`repro.ingest.daemon._execute_feed_fault`, whose ``hang``
+sleeps asynchronously), or an explicitly allow-listed durable-append
+helper (suppression comment, with the justification inline).
+
+The check is syntactic and direct-call only: it flags the known blocking
+surfaces when called *directly* in an ``async def`` body (nested ``def``
+bodies are skipped — a sync helper is fine to define, and call-graph
+analysis is out of scope for an AST lint):
+
+* ``time.sleep`` — use ``await asyncio.sleep``;
+* ``os.fsync`` / ``os.replace`` / ``os.rename`` — durable writes belong in
+  sync helpers driven from the writer task, or an executor;
+* ``open(...)`` and ``subprocess.*`` — file and process I/O;
+* ``<injector>.fire(...)`` — the fault injector's synchronous executor
+  ``time.sleep``\\ s on ``hang`` kinds and must never run on the loop; use
+  the async-aware ``_execute_feed_fault`` twin instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List
+
+from repro.analysis.core import Checker, Finding, ModuleInfo, dotted_name, register
+
+__all__ = ["AsyncSafetyChecker"]
+
+#: Exact dotted call names that block.
+BLOCKING_DOTTED = {
+    "time.sleep": "use `await asyncio.sleep(...)`",
+    "os.fsync": "run durable writes in an executor or a sync helper task",
+    "os.replace": "run durable writes in an executor or a sync helper task",
+    "os.rename": "run durable writes in an executor or a sync helper task",
+    "os.system": "use an asyncio subprocess API",
+}
+
+#: Module roots any attribute of which blocks.
+BLOCKING_ROOTS = {
+    "subprocess": "use `asyncio.create_subprocess_exec` or an executor",
+    "requests": "use an async HTTP client or an executor",
+}
+
+#: Bare builtins that block.
+BLOCKING_NAMES = {
+    "open": "do file I/O in a sync helper driven off the loop, or an executor",
+    "input": "never read stdin on the event loop",
+}
+
+#: Method names that block regardless of receiver.  ``fire`` is the fault
+#: injector's synchronous executor: its ``hang`` kind sleeps for
+#: ``hang_seconds`` — on the event loop that would also freeze the watchdog
+#: meant to catch the hang.
+BLOCKING_METHODS = {
+    "fire": "use the async-aware fault twin (`_execute_feed_fault`) instead",
+}
+
+
+def _async_body_calls(function: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Call nodes executed directly by the coroutine (nested defs skipped)."""
+    stack: List[ast.AST] = list(function.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class AsyncSafetyChecker(Checker):
+    name = "async-safety"
+    description = (
+        "no direct blocking calls (time.sleep, fsync/replace, open, "
+        "subprocess, injector.fire) inside async def bodies"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/")
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in _async_body_calls(node):
+                verdict = self._blocking(call)
+                if verdict is None:
+                    continue
+                what, remedy = verdict
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=module.relpath,
+                        line=call.lineno,
+                        message=(
+                            f"blocking call {what} inside `async def "
+                            f"{node.name}` would stall the event loop "
+                            f"(and the watchdog); {remedy}"
+                        ),
+                        anchor=f"{node.name}:{what}",
+                    )
+                )
+        return findings
+
+    def _blocking(self, call: ast.Call):
+        name = dotted_name(call.func)
+        if name is not None:
+            if name in BLOCKING_DOTTED:
+                return name, BLOCKING_DOTTED[name]
+            root = name.split(".", 1)[0]
+            if root in BLOCKING_ROOTS and "." in name:
+                return name, BLOCKING_ROOTS[root]
+            if name in BLOCKING_NAMES:
+                return name, BLOCKING_NAMES[name]
+        if isinstance(call.func, ast.Attribute) and call.func.attr in BLOCKING_METHODS:
+            receiver = dotted_name(call.func.value)
+            label = f"{receiver}.{call.func.attr}" if receiver else f".{call.func.attr}"
+            return label, BLOCKING_METHODS[call.func.attr]
+        return None

@@ -1,0 +1,78 @@
+"""The committed baseline of grandfathered findings.
+
+``baseline.json`` (next to this module) is a JSON list of entries::
+
+    {"rule": "durability-ordering",
+     "path": "src/repro/traces/mrt.py",
+     "anchor": "TraceWriter.__init__:open",
+     "justification": "one line on why this finding is deliberate"}
+
+An entry matches a finding by ``(rule, path, anchor)`` — anchors are
+symbol/site names, not line numbers, so entries survive unrelated edits.
+Every entry must carry a non-empty ``justification``; the gate treats a
+justification-less entry as malformed rather than silently honouring it.
+Entries that stop matching anything show up as ``stale_baseline`` in the
+report (and in the CLI summary) so dead grandfathering gets cleaned out.
+
+To grandfather a new deliberate exception: run
+``python -m repro.analysis --json`` to get the finding's ``key``
+(``rule:path:anchor``), add the entry here with a justification, and keep
+the diff reviewer-visible — the baseline is part of the contract surface.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.analysis.core import AnalysisError, Finding, entry_key
+
+__all__ = ["DEFAULT_BASELINE_PATH", "Baseline", "load_baseline"]
+
+DEFAULT_BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baseline.json")
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline entries plus the key set findings are matched on."""
+
+    entries: List[dict] = field(default_factory=list)
+    keys: Set[str] = field(default_factory=set)
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.key in self.keys
+
+
+def load_baseline(path: Optional[str] = None) -> Baseline:
+    """Load the baseline at ``path`` (default: the committed one).
+
+    A missing file is an empty baseline; a malformed one (non-list
+    document, entries without rule/path/anchor/justification) raises
+    :class:`~repro.analysis.core.AnalysisError` — a broken baseline must
+    fail the gate loudly, not silently grandfather nothing.
+    """
+    if path is None:
+        path = DEFAULT_BASELINE_PATH
+    if not os.path.isfile(path):
+        return Baseline()
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except ValueError as error:
+            raise AnalysisError(f"{path}: malformed baseline ({error})") from error
+    if not isinstance(document, list):
+        raise AnalysisError(f"{path}: baseline must be a JSON list of entries")
+    baseline = Baseline()
+    for index, entry in enumerate(document):
+        if not isinstance(entry, dict):
+            raise AnalysisError(f"{path}: entry {index} is not an object")
+        for required in ("rule", "path", "anchor", "justification"):
+            if not str(entry.get(required, "")).strip():
+                raise AnalysisError(
+                    f"{path}: entry {index} is missing a non-empty {required!r}"
+                )
+        baseline.entries.append(entry)
+        baseline.keys.add(entry_key(entry))
+    return baseline

@@ -1,0 +1,108 @@
+"""Rule ``bench-schema``: benchmark artifacts carry the environment stamp.
+
+Benchmark suites persist their numbers as ``BENCH_*.json`` artifacts so
+runs are comparable across machines and sessions.  Comparability depends
+on every artifact embedding the same environment descriptor —
+``benchmarks/conftest.bench_env()`` (cpu count, kernel backend, numpy
+version).  A benchmark module that writes a ``BENCH_`` artifact without
+going through ``bench_env()`` produces numbers nobody can later interpret,
+so this rule flags any ``benchmarks/`` module that mentions a ``BENCH_``
+artifact name outside a docstring but never imports *and calls*
+``bench_env``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.core import Checker, Finding, ModuleInfo, docstring_nodes, register
+
+__all__ = ["BenchSchemaChecker"]
+
+ARTIFACT_MARKER = "BENCH_"
+ENV_HELPER = "bench_env"
+
+
+def _first_artifact_mention(module: ModuleInfo) -> Optional[ast.Constant]:
+    docstrings = docstring_nodes(module.tree)
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and ARTIFACT_MARKER in node.value
+            and id(node) not in docstrings
+        ):
+            return node
+    return None
+
+
+def _imports_env_helper(module: ModuleInfo) -> bool:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom):
+            if any(alias.name == ENV_HELPER for alias in node.names):
+                return True
+        elif isinstance(node, ast.Import):
+            # "import conftest" style — accept; the call check still applies.
+            if any("conftest" in alias.name for alias in node.names):
+                return True
+    return False
+
+
+def _calls_env_helper(module: ModuleInfo) -> bool:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == ENV_HELPER:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr == ENV_HELPER:
+            return True
+    return False
+
+
+@register
+class BenchSchemaChecker(Checker):
+    name = "bench-schema"
+    description = (
+        "benchmark modules that write BENCH_*.json artifacts stamp them "
+        "with benchmarks/conftest.bench_env()"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("benchmarks/") and relpath != "benchmarks/conftest.py"
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        mention = _first_artifact_mention(module)
+        if mention is None:
+            return ()
+        findings: List[Finding] = []
+        if not _calls_env_helper(module):
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    path=module.relpath,
+                    line=mention.lineno,
+                    message=(
+                        "module references a BENCH_ artifact but never calls "
+                        "benchmarks/conftest.bench_env(); artifacts without the "
+                        "environment stamp are not comparable across runs"
+                    ),
+                    anchor="missing-bench-env-call",
+                )
+            )
+        elif not _imports_env_helper(module):
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    path=module.relpath,
+                    line=mention.lineno,
+                    message=(
+                        "bench_env is called but not imported from the "
+                        "benchmarks conftest — import it explicitly so the "
+                        "stamp's provenance is visible"
+                    ),
+                    anchor="missing-bench-env-import",
+                )
+            )
+        return findings

@@ -1,0 +1,138 @@
+"""Rule ``durability-ordering``: persistence goes through ``util/atomic``.
+
+The crash-recovery proofs (PR 7's quarantine-and-rebuild, PR 8's ``kill
+-9`` exactly-once matrix) all rest on one discipline: an on-disk artifact
+is replaced by writing a temp file in the destination directory, fsyncing
+it, ``os.replace``-ing it over the final name, and fsyncing the directory
+— exactly what :func:`repro.util.atomic.write_atomic` does.  A bare
+``open(path, "w")`` or hand-rolled ``os.replace`` elsewhere is either a
+torn-write waiting for a crash window, or a deliberate exception that must
+say so where it stands.
+
+Flagged (outside ``src/repro/util/atomic.py``):
+
+* any direct ``os.replace`` / ``os.rename`` call;
+* any ``open()`` in a writing mode (``w``/``a``/``x``/``+``) whose target
+  is not obviously a temp path (a variable or literal containing
+  ``tmp``/``temp`` — the writer-callback convention ``write_atomic``
+  hands its callees).
+
+Legitimate exceptions are annotated in place with
+``# repro: allow(durability-ordering): <why>`` — e.g. the segment append
+log (which *is* the fsync'd durability substrate), torn-tail truncation,
+and the fault harness's deliberate byte damage — or grandfathered in the
+baseline with a justification (the bulk text exporter in ``mrt.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.core import Checker, Finding, ModuleInfo, dotted_name, register
+
+__all__ = ["DurabilityChecker"]
+
+ATOMIC_RELPATH = "src/repro/util/atomic.py"
+
+_WRITE_MODE_CHARS = set("wax+")
+
+
+def _open_mode(call: ast.Call) -> Optional[str]:
+    """The constant mode string of an ``open()`` call, if determinable."""
+    if len(call.args) >= 2:
+        mode = call.args[1]
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            if isinstance(keyword.value, ast.Constant) and isinstance(
+                keyword.value.value, str
+            ):
+                return keyword.value.value
+            return None
+    return "r"
+
+
+def _target_is_temp(call: ast.Call) -> bool:
+    """True when the opened path is visibly a temp file (writer-callback
+    convention: ``write_atomic`` hands its writer a ``temp_path``)."""
+    if not call.args:
+        return False
+    target = call.args[0]
+    if isinstance(target, ast.Name):
+        lowered = target.id.lower()
+        return "tmp" in lowered or "temp" in lowered
+    if isinstance(target, ast.Constant) and isinstance(target.value, str):
+        lowered = target.value.lower()
+        return "tmp" in lowered or "temp" in lowered
+    return False
+
+
+def _enclosing_function(module: ModuleInfo, line: int) -> str:
+    """Best-effort name of the def containing ``line`` (for stable anchors)."""
+    best = ""
+    best_line = 0
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            end = getattr(node, "end_lineno", node.lineno)
+            if node.lineno <= line <= end and node.lineno > best_line:
+                best, best_line = node.name, node.lineno
+    return best or "<module>"
+
+
+@register
+class DurabilityChecker(Checker):
+    name = "durability-ordering"
+    description = (
+        "on-disk artifacts are written via util/atomic.write_atomic "
+        "(fsync + os.replace ordering); bare writes/renames are flagged"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/") and relpath != ATOMIC_RELPATH
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in ("os.replace", "os.rename"):
+                where = _enclosing_function(module, node.lineno)
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=module.relpath,
+                        line=node.lineno,
+                        message=(
+                            f"direct {name} call: atomic replacement must go "
+                            "through repro.util.atomic.write_atomic so the "
+                            "fsync -> replace -> directory-fsync ordering the "
+                            "recovery proofs depend on is preserved"
+                        ),
+                        anchor=f"{where}:{name}",
+                    )
+                )
+            elif name == "open":
+                mode = _open_mode(node)
+                if mode is None or not (_WRITE_MODE_CHARS & set(mode)):
+                    continue
+                if _target_is_temp(node):
+                    continue
+                where = _enclosing_function(module, node.lineno)
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=module.relpath,
+                        line=node.lineno,
+                        message=(
+                            f"bare open(..., {mode!r}) persistence: write "
+                            "through repro.util.atomic.write_atomic (or annotate "
+                            "the deliberate exception in place)"
+                        ),
+                        anchor=f"{where}:open",
+                    )
+                )
+        return findings

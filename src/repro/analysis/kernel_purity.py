@@ -1,0 +1,246 @@
+"""Rule ``kernel-purity``: the kernel-layer contract, machine-checked.
+
+The contract (``src/repro/core/README.md``, shipped with PR 6):
+
+* kernels read immutable column views and return plain row indices/counts —
+  they never mutate a column argument;
+* no interning table (or any message/attribute object machinery) is ever
+  touched inside a kernel: materialising interned objects is the caller's
+  job, so nothing under :mod:`repro.traces` / :mod:`repro.bgp` may be
+  imported by a kernels module;
+* ``kernels/stdlib.py`` is the always-importable parity reference — it must
+  never import numpy, directly or via the numpy backend module;
+* numpy stays strictly optional everywhere: any module-level
+  ``import numpy`` outside a try/except-ImportError guard (or a function
+  body) would make the whole tree numpy-dependent.
+
+The mutation check is name-based: only arguments named like the run-column
+contract's columns (``times``, ``kinds``, ``wd_end``, …) are tracked, so a
+kernel's legitimately-mutable state (the detector's ``window`` deque, the
+opaque seen-row ``mask``) stays out of scope by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Tuple
+
+from repro.analysis.core import Checker, Finding, ModuleInfo, iter_with_parents, register
+
+__all__ = ["KernelPurityChecker"]
+
+KERNELS_PREFIX = "src/repro/core/kernels/"
+STDLIB_RELPATH = KERNELS_PREFIX + "stdlib.py"
+NUMPY_RELPATH = KERNELS_PREFIX + "numpy.py"
+
+#: Column-view parameter names of the run-column contract
+#: (``src/repro/traces/README.md``).  Mutating any of these inside a kernel
+#: breaks the "inputs are immutable views" clause.
+COLUMN_PARAMS = frozenset(
+    {
+        "times",
+        "kinds",
+        "wd_end",
+        "ann_end",
+        "wd_prefix",
+        "ann_prefix",
+        "cumulative",
+        "peers",
+    }
+)
+
+#: Method calls that mutate their receiver.
+MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "clear",
+        "extend",
+        "extendleft",
+        "fill",
+        "frombytes",
+        "fromlist",
+        "insert",
+        "itemset",
+        "pop",
+        "popleft",
+        "put",
+        "remove",
+        "resize",
+        "reverse",
+        "sort",
+    }
+)
+
+#: Import prefixes that carry interning tables / message objects — the
+#: machinery the kernel contract keeps on the caller's side of the seam.
+FORBIDDEN_PREFIXES = ("repro.traces", "repro.bgp")
+
+
+def _imported_names(node: ast.AST) -> List[str]:
+    """Fully-qualified module names an Import/ImportFrom statement touches."""
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if isinstance(node, ast.ImportFrom):
+        base = node.module or ""
+        names = [base] if base else []
+        names.extend(
+            f"{base}.{alias.name}" if base else alias.name for alias in node.names
+        )
+        return names
+    return []
+
+
+def _is_guarded(parents: Tuple[ast.AST, ...]) -> bool:
+    """True when an import sits under a try/except-ImportError or a def."""
+    for parent in parents:
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return True
+        if isinstance(parent, ast.Try):
+            for handler in parent.handlers:
+                if handler.type is None:
+                    return True
+                candidates = (
+                    handler.type.elts
+                    if isinstance(handler.type, ast.Tuple)
+                    else [handler.type]
+                )
+                for candidate in candidates:
+                    name = getattr(candidate, "id", getattr(candidate, "attr", ""))
+                    if name in ("ImportError", "ModuleNotFoundError", "Exception"):
+                        return True
+    return False
+
+
+@register
+class KernelPurityChecker(Checker):
+    name = "kernel-purity"
+    description = (
+        "kernels stay pure: no interning-table imports or column mutation in "
+        "core/kernels/, no numpy in stdlib.py, numpy guarded everywhere else"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/")
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        in_kernels = module.relpath.startswith(KERNELS_PREFIX)
+        is_stdlib = module.relpath == STDLIB_RELPATH
+
+        for node, parents in iter_with_parents(module.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                for name in _imported_names(node):
+                    is_numpy = name == "numpy" or name.startswith("numpy.")
+                    # "from repro.core.kernels import numpy" drags the numpy
+                    # backend (hence numpy itself) into the reference.
+                    is_numpy_backend = name == "repro.core.kernels.numpy"
+                    if is_stdlib and (is_numpy or is_numpy_backend):
+                        findings.append(
+                            Finding(
+                                rule=self.name,
+                                path=module.relpath,
+                                line=node.lineno,
+                                message=(
+                                    "the stdlib kernel backend is the always-"
+                                    f"importable parity reference; it must not "
+                                    f"import {name!r}"
+                                ),
+                                anchor=f"stdlib-numpy:{name}",
+                            )
+                        )
+                        continue
+                    if is_numpy and not _is_guarded(parents):
+                        findings.append(
+                            Finding(
+                                rule=self.name,
+                                path=module.relpath,
+                                line=node.lineno,
+                                message=(
+                                    "numpy is an optional dependency: guard the "
+                                    "import with try/except ImportError (or move "
+                                    "it inside a function)"
+                                ),
+                                anchor=f"unguarded-numpy:{name}",
+                            )
+                        )
+                    if in_kernels and any(
+                        name == prefix or name.startswith(prefix + ".")
+                        for prefix in FORBIDDEN_PREFIXES
+                    ):
+                        findings.append(
+                            Finding(
+                                rule=self.name,
+                                path=module.relpath,
+                                line=node.lineno,
+                                message=(
+                                    f"kernels must not import {name!r}: interning "
+                                    "tables and message objects stay on the "
+                                    "caller's side of the kernel seam"
+                                ),
+                                anchor=f"kernel-import:{name}",
+                            )
+                        )
+            elif in_kernels and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                findings.extend(self._column_mutations(module, node))
+        return findings
+
+    def _column_mutations(
+        self, module: ModuleInfo, function: ast.AST
+    ) -> Iterable[Finding]:
+        args = function.args
+        tracked = {
+            arg.arg
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            )
+            if arg.arg in COLUMN_PARAMS
+        }
+        if not tracked:
+            return ()
+        findings: List[Finding] = []
+
+        def flag(node: ast.AST, name: str, what: str) -> None:
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    path=module.relpath,
+                    line=node.lineno,
+                    message=(
+                        f"kernel {function.name!r} mutates column-view argument "
+                        f"{name!r} ({what}); kernel inputs are immutable views"
+                    ),
+                    anchor=f"mutation:{function.name}:{name}",
+                )
+            )
+
+        for node in ast.walk(function):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in tracked
+                    ):
+                        flag(node, target.value.id, "item assignment")
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in tracked
+                    ):
+                        flag(node, target.value.id, "item deletion")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATORS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in tracked
+                ):
+                    flag(node, func.value.id, f".{func.attr}() call")
+        return findings

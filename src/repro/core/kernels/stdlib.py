@@ -31,7 +31,9 @@ __all__ = [
     "find_crossing",
     "flatten_rows",
     "fresh_candidate_rows",
+    "interesting_rows",
     "last_update_row",
+    "next_positive_row",
     "new_seen_mask",
     "run_boundaries",
 ]

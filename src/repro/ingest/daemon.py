@@ -356,10 +356,12 @@ class IngestDaemon:
 
         injector = faults.active_injector()
         feed = state.feed
-        if injector is not None:
-            injector.fire(
-                "feed.connect", key=feed.name, in_worker=self.config.supervised
-            )
+        # Must use the async-aware twin, not injector.fire(): fire()'s hang
+        # kind sleeps synchronously, which on the event loop would also
+        # freeze the watchdog meant to catch the hang.
+        await _execute_feed_fault(
+            injector, "feed.connect", feed.name, self.config.supervised
+        )
         loop = asyncio.get_running_loop()
         rate = getattr(feed, "rate", None)
         for offset, line in feed.connect(state.next_offset):

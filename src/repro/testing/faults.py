@@ -7,22 +7,12 @@ injectors for worker crashes, hard worker kills, worker hangs, IO errors
 and byte-level blob corruption, wired into narrow hooks at the production
 call sites.  With no plan configured every hook is a no-op.
 
-The full site table (each row names the hook, its per-call key, and which
-kinds make sense there — also documented in
-``src/repro/replay/README.md``):
-
-========================= ================================== =======================
-site                      key                                typical kinds
-========================= ================================== =======================
-``fleet.worker``          ``session:<peer_as>``              crash, kill, hang
-``store.open``            ``<.cols file name>``              io_error
-``store.read``            ``<.cols file name>``              io_error
-``cache.write``           ``<cache entry name>``             io_error, corrupt
-``feed.connect``          ``<feed name>``                    crash, io_error
-``feed.read``             ``<feed name>``                    io_error, corrupt, hang
-``segment.append``        ``<feed>:<segment>``               crash, kill, io_error
-``segment.roll``          ``<feed>:<segment>:<phase>``       crash, kill, io_error
-========================= ================================== =======================
+The canonical site table is the :data:`KNOWN_SITES` constant below — one
+entry per hook, naming its per-call key shape and the kinds that make
+sense there.  The ``fault-site-registry`` rule of ``repro.analysis``
+checks every site string in the tree (hook calls and textual plans alike)
+against it, in both directions; ``src/repro/replay/README.md`` renders the
+same table for humans.
 
 The ``feed.*`` / ``segment.*`` sites live in the streaming ingestion
 daemon (:mod:`repro.ingest`): ``feed.read``'s ``corrupt`` mangles the line
@@ -80,6 +70,7 @@ from typing import Dict, Mapping, Optional, Tuple
 
 __all__ = [
     "FAULTS_ENV",
+    "KNOWN_SITES",
     "SEED_ENV",
     "FaultInjector",
     "FaultPlan",
@@ -99,6 +90,23 @@ SEED_ENV = "REPRO_FAULT_SEED"
 
 #: The fault kinds the harness can execute.
 KINDS = ("crash", "kill", "hang", "io_error", "corrupt")
+
+#: The canonical registry of injection sites: site -> (per-call key shape,
+#: kinds that make sense there).  Production hooks and textual plans both
+#: address sites by these strings; the ``fault-site-registry`` static rule
+#: keeps every usage in the tree and this table in sync, both ways, so a
+#: typo'd site (which fails open — the injector simply never fires) cannot
+#: ship silently.
+KNOWN_SITES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+    "fleet.worker": ("session:<peer_as>", ("crash", "kill", "hang")),
+    "store.open": ("<.cols file name>", ("io_error",)),
+    "store.read": ("<.cols file name>", ("io_error",)),
+    "cache.write": ("<cache entry name>", ("io_error", "corrupt")),
+    "feed.connect": ("<feed name>", ("crash", "io_error")),
+    "feed.read": ("<feed name>", ("io_error", "corrupt", "hang")),
+    "segment.append": ("<feed>:<segment>", ("crash", "kill", "io_error")),
+    "segment.roll": ("<feed>:<segment>:<phase>", ("crash", "kill", "io_error")),
+}
 
 
 class InjectedFault(RuntimeError):
@@ -323,6 +331,8 @@ def corrupt_file(path: str, seed: int = 0, offset: Optional[int] = None) -> int:
         raise ValueError(f"cannot corrupt empty file {path!r}")
     if offset is None:
         offset = zlib.crc32(f"corrupt|{seed}|{size}".encode("utf-8")) % size
+    # repro: allow(durability-ordering): deliberate in-place byte damage —
+    # this helper EXISTS to violate durability, that is the test.
     with open(path, "r+b") as handle:
         handle.seek(offset)
         byte = handle.read(1)

@@ -137,6 +137,8 @@ def write_trace(path: str, trace: ColumnarTrace, store_version: int = STORE_VERS
     if store_version >= 2:
         header_dict["checksums"] = checksums
     header = pickle.dumps(header_dict, protocol=pickle.HIGHEST_PROTOCOL)
+    # repro: allow(durability-ordering): atomicity is the caller's contract —
+    # trace_cache wraps write_trace in write_atomic and hands it a temp path.
     with open(path, "wb") as handle:
         handle.write(_MAGIC)
         handle.write(_VERSION.pack(store_version))
@@ -445,6 +447,9 @@ class SegmentAppendLog:
     def __init__(self, path: str) -> None:
         self.path = path
         exists = os.path.exists(path) and os.path.getsize(path) > 0
+        # repro: allow(durability-ordering): the append log IS the durability
+        # substrate — frames are fsync'd per append; replace-based atomicity
+        # would defeat incremental appends.
         self._handle = open(path, "ab")
         if not exists:
             self._handle.write(_LOG_MAGIC)
@@ -540,6 +545,10 @@ class SegmentAppendLog:
             os.unlink(path)
             return payloads
         if os.path.getsize(path) > valid_end:
+            # repro: allow(durability-ordering): torn-tail truncation is the
+            # recovery step itself; it shortens to the last fsync'd frame and
+            # fsyncs — rewriting the whole log atomically would widen the
+            # crash window it closes.
             with open(path, "r+b") as handle:
                 handle.truncate(valid_end)
                 os.fsync(handle.fileno())

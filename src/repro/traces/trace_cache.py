@@ -252,6 +252,8 @@ def _quarantine(path: str, error: Exception) -> None:
     """
     target = path + ".corrupt"
     try:
+        # repro: allow(durability-ordering): best-effort rename-aside of an
+        # already-corrupt blob; nothing durable is being written.
         os.replace(path, target)
     except OSError:
         target = None

@@ -1,0 +1,12 @@
+"""Trips async-safety once: a synchronous sleep on the event loop.
+
+Loaded masquerading as a ``src/repro/ingest/`` module.
+"""
+
+import time
+
+
+async def poll_feed(feed):
+    while not feed.ready():
+        time.sleep(0.1)
+    return feed.take()

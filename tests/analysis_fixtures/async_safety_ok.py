@@ -1,0 +1,17 @@
+"""Quiet under async-safety: async sleeps, blocking work in sync helpers."""
+
+import asyncio
+import time
+
+
+async def poll_feed(feed):
+    while not feed.ready():
+        await asyncio.sleep(0.1)
+
+    def drain():  # sync helper: defining (not calling) blocking code is fine
+        time.sleep(0.1)
+        with open(feed.path) as handle:
+            return handle.read()
+
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, drain)

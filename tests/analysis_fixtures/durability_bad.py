@@ -1,0 +1,11 @@
+"""Trips durability-ordering once: a bare write of a persistent artifact.
+
+Loaded masquerading as a ``src/repro/`` module.
+"""
+
+import json
+
+
+def save_state(path, state):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(state, handle)

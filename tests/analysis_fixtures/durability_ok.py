@@ -1,0 +1,19 @@
+"""Quiet under durability-ordering: writes go through write_atomic (whose
+writer callback receives a temp path), reads are unrestricted."""
+
+import json
+
+from repro.util.atomic import write_atomic
+
+
+def save_state(path, state):
+    def writer(temp_path):
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(state, handle)
+
+    write_atomic(path, writer)
+
+
+def load_state(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

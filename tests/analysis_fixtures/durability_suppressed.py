@@ -1,0 +1,17 @@
+"""Quiet under durability-ordering via suppression comments: the inline
+form and the comment-block-above form must both silence the rule."""
+
+import json
+
+
+def save_inline(path, state):
+    with open(path, "w", encoding="utf-8") as handle:  # repro: allow(durability-ordering): fixture
+        json.dump(state, handle)
+
+
+def save_block(path, state):
+    # repro: allow(durability-ordering): the justification of a deliberate
+    # exception can span a whole comment block, and the marker still
+    # covers the statement below it.
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(state, handle)

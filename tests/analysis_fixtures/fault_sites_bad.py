@@ -1,0 +1,9 @@
+"""Trips fault-site-registry once: a hook call with an unregistered site.
+
+Checked with a ``FaultSiteChecker(known_sites=["fixture.known"])``
+override.
+"""
+
+
+def hook(injector, key):
+    injector.fire("fixture.unknown", key=key)

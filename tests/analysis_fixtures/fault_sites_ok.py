@@ -1,0 +1,9 @@
+"""Quiet under fault-site-registry: registered sites only, via a hook
+call, a plan-grammar literal and an f-string plan."""
+
+PLAN = "kill@fixture.known;after=2"
+
+
+def hook(injector, key):
+    injector.fire("fixture.known", key=key)
+    return f"io_error@fixture.known;match={key}"

@@ -1,0 +1,10 @@
+"""Trips kernel-purity once: numpy imported by the stdlib parity reference.
+
+Loaded masquerading as ``src/repro/core/kernels/stdlib.py``.
+"""
+
+import numpy
+
+
+def find_crossing(times, threshold):
+    return [t for t in times if t > threshold and numpy is not None]

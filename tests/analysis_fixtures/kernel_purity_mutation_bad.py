@@ -1,0 +1,9 @@
+"""Trips kernel-purity once: a kernel mutates a column-view argument.
+
+Loaded masquerading as a ``src/repro/core/kernels/`` module.
+"""
+
+
+def rewrite_times(times, kinds):
+    times[0] = 0.0
+    return kinds

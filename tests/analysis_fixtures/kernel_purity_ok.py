@@ -1,0 +1,17 @@
+"""Quiet under kernel-purity: guarded numpy import, read-only columns.
+
+Loaded masquerading as a ``src/repro/core/kernels/`` module (not the
+stdlib reference, which may not import numpy at all).
+"""
+
+try:
+    import numpy as _np
+except ImportError:  # numpy is optional everywhere
+    _np = None
+
+
+def count_kinds(times, kinds):
+    total = 0
+    for kind in kinds:
+        total += 1 if kind else 0
+    return total + len(times)

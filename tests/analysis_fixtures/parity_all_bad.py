@@ -1,0 +1,16 @@
+"""Trips parity-pair once: shared function missing from ``__all__``."""
+
+__all__ = [
+    "find_crossing",
+]
+
+
+def find_crossing(values, threshold, start=0):
+    for index in range(start, len(values)):
+        if values[index] > threshold:
+            return index
+    return -1
+
+
+def run_lengths(values):
+    return [1 for _ in values]

@@ -1,0 +1,17 @@
+"""Reference side of the fixture module-parity pair."""
+
+__all__ = [
+    "find_crossing",
+    "run_lengths",
+]
+
+
+def find_crossing(values, threshold, start=0):
+    for index in range(start, len(values)):
+        if values[index] > threshold:
+            return index
+    return -1
+
+
+def run_lengths(values):
+    return [1 for _ in values]

@@ -1,0 +1,22 @@
+"""Quiet under parity-pair: signatures match; the twin may add a trailing
+defaulted knob and extra private helpers."""
+
+__all__ = [
+    "find_crossing",
+    "run_lengths",
+]
+
+
+def find_crossing(values, threshold, start=0, fast=True):
+    return _scan(values, threshold, start) if fast else -1
+
+
+def run_lengths(values):
+    return [1 for _ in values]
+
+
+def _scan(values, threshold, start):
+    for index in range(start, len(values)):
+        if values[index] > threshold:
+            return index
+    return -1
