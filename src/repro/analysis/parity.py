@@ -65,6 +65,12 @@ DEFAULT_CLASS_PAIRS: Tuple[ClassPair, ...] = (
         "src/repro/core/fit_score.py",
         "FitScoreCalculator",
     ),
+    ClassPair(
+        "src/repro/bgp/trie_reference.py",
+        "ReferencePrefixTrie",
+        "src/repro/bgp/trie.py",
+        "PrefixTrie",
+    ),
 )
 
 DEFAULT_MODULE_PAIRS: Tuple[ModulePair, ...] = (

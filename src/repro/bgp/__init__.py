@@ -31,6 +31,7 @@ from repro.bgp.rib import AdjRibIn, LocRib, RibEntry, RouteChange
 from repro.bgp.session import MessageStream, PeeringSession, SessionState
 from repro.bgp.speaker import BGPSpeaker
 from repro.bgp.trie import PrefixTrie
+from repro.bgp.trie_reference import ReferencePrefixTrie
 
 __all__ = [
     "AdjRibIn",
@@ -49,6 +50,7 @@ __all__ = [
     "Prefix",
     "PrefixError",
     "PrefixTrie",
+    "ReferencePrefixTrie",
     "RibEntry",
     "RouteChange",
     "SessionState",

@@ -13,7 +13,7 @@ stays cheap; a prefix is just an ``(int, int)`` pair internally.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Prefix",
@@ -67,7 +67,7 @@ class Prefix:
         Prefix length in ``[0, 32]``.
     """
 
-    __slots__ = ("_network", "_length", "_hash")
+    __slots__ = ("_network", "_length", "_hash", "_bits")
 
     def __init__(self, network: int, length: int) -> None:
         if not 0 <= length <= 32:
@@ -80,6 +80,7 @@ class Prefix:
         # Prefixes are dictionary keys on every RIB hot path; pre-computing
         # the (immutable) hash once saves a tuple build per lookup.
         self._hash = hash((self._network, length))
+        self._bits: Optional[Tuple[int, ...]] = None
 
     # -- constructors -----------------------------------------------------
 
@@ -159,6 +160,21 @@ class Prefix:
             return ""
         return format(self._network >> (32 - self._length), f"0{self._length}b")
 
+    def significant_bits(self) -> Tuple[int, ...]:
+        """The significant bits as a tuple of ints, most significant first.
+
+        Memoised on the instance: per-bit trie walks touch every bit of a
+        prefix on each insert/remove/exact lookup, and rebuilding the bit
+        list per call dominated those operations at table scale.
+        """
+        bits = self._bits
+        if bits is None:
+            network, length = self._network, self._length
+            bits = self._bits = tuple(
+                (network >> shift) & 1 for shift in range(31, 31 - length, -1)
+            )
+        return bits
+
     # -- dunder protocol ---------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
@@ -208,6 +224,7 @@ def _restore_prefix(network: int, length: int) -> "Prefix":
     prefix._network = network
     prefix._length = length
     prefix._hash = hash((network, length))
+    prefix._bits = None
     return prefix
 
 

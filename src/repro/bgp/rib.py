@@ -15,6 +15,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.bgp.attributes import ASPath, PathAttributes
 from repro.bgp.prefix import Prefix
+from repro.bgp.trie import PrefixTrie
 
 __all__ = ["AdjRibIn", "LocRib", "RibEntry", "RouteChange", "RouteChangeKind"]
 
@@ -139,6 +140,11 @@ class AdjRibIn:
         # apply one net old->final index transition per prefix instead of
         # churning the index at every intermediate path change.
         self._bulk_original: Optional[Dict[Prefix, Optional[RibEntry]]] = None
+        # LPM view over _routes, built lazily on the first longest-prefix
+        # query (bulk-loaded from the sorted route table) and maintained
+        # incrementally afterwards.  ``None`` means "not materialised yet"
+        # so sessions that never ask LPM questions pay nothing.
+        self._prefix_trie: Optional[PrefixTrie[RibEntry]] = None
 
     # -- mutation ---------------------------------------------------------
 
@@ -190,6 +196,8 @@ class AdjRibIn:
             if old is not None:
                 self._unindex(old)
         self._routes[prefix] = entry
+        if self._prefix_trie is not None:
+            self._prefix_trie.insert(prefix, entry)
         if bulk is None:
             self._index(entry)
         kind = RouteChangeKind.UPDATED if old is not None else RouteChangeKind.NEW
@@ -200,6 +208,8 @@ class AdjRibIn:
         old = self._routes.pop(prefix, None)
         if old is None:
             return RouteChange(kind=RouteChangeKind.UNCHANGED, prefix=prefix)
+        if self._prefix_trie is not None:
+            self._prefix_trie.remove(prefix)
         bulk = self._bulk_original
         if bulk is not None:
             if prefix not in bulk:
@@ -212,6 +222,7 @@ class AdjRibIn:
         """Drop every route (session reset)."""
         self._routes.clear()
         self._link_index.clear()
+        self._prefix_trie = None
         if self._bulk_original is not None:
             self._bulk_original = {}
 
@@ -237,6 +248,34 @@ class AdjRibIn:
     def entries(self) -> Iterator[RibEntry]:
         """Iterate over all stored routes."""
         return iter(self._routes.values())
+
+    def prefix_trie(self) -> PrefixTrie[RibEntry]:
+        """The LPM view over this session's routes (built lazily, kept live).
+
+        First call bulk-loads the compressed trie from the sorted route
+        table; afterwards announce/withdraw keep it incrementally in sync,
+        so holding on to the returned trie across updates is safe.
+        """
+        trie = self._prefix_trie
+        if trie is None:
+            trie = PrefixTrie()
+            trie.build_from_sorted(sorted(self._routes.items()))
+            self._prefix_trie = trie
+        return trie
+
+    def lookup(self, address: int) -> Optional[RibEntry]:
+        """Longest-prefix-match route for a 32-bit destination address."""
+        match = self.prefix_trie().lookup(address)
+        return match[1] if match is not None else None
+
+    def covering_route(self, prefix: Prefix) -> Optional[RibEntry]:
+        """The most specific route whose prefix covers ``prefix`` (or itself)."""
+        match = self.prefix_trie().lookup_prefix(prefix)
+        return match[1] if match is not None else None
+
+    def covered_routes(self, prefix: Prefix) -> Iterator[Tuple[Prefix, RibEntry]]:
+        """Yield routes equal to or more specific than ``prefix``, sorted."""
+        return self.prefix_trie().covered_by(prefix)
 
     def prefixes_via_link(self, link: Tuple[int, int]) -> frozenset:
         """Prefixes whose current AS path traverses the (undirected) link."""
@@ -302,6 +341,10 @@ class LocRib:
     def __init__(self) -> None:
         self._best: Dict[Prefix, RibEntry] = {}
         self._candidates: Dict[Prefix, Dict[int, RibEntry]] = {}
+        # Lazily-built LPM view over _best; same contract as
+        # ``AdjRibIn._prefix_trie`` (None until first longest-prefix query,
+        # incrementally maintained afterwards).
+        self._best_trie: Optional[PrefixTrie[RibEntry]] = None
 
     # -- mutation ---------------------------------------------------------
 
@@ -324,14 +367,19 @@ class LocRib:
         if entry is None:
             if prefix is None:
                 raise ValueError("prefix required when clearing a best route")
-            self._best.pop(prefix, None)
+            removed = self._best.pop(prefix, None)
+            if removed is not None and self._best_trie is not None:
+                self._best_trie.remove(prefix)
         else:
             self._best[entry.prefix] = entry
+            if self._best_trie is not None:
+                self._best_trie.insert(entry.prefix, entry)
 
     def clear(self) -> None:
         """Drop all state."""
         self._best.clear()
         self._candidates.clear()
+        self._best_trie = None
 
     # -- queries ----------------------------------------------------------
 
@@ -369,6 +417,33 @@ class LocRib:
 
     def __contains__(self, prefix: Prefix) -> bool:
         return prefix in self._best
+
+    def best_trie(self) -> PrefixTrie[RibEntry]:
+        """The LPM view over the best-route table (built lazily, kept live).
+
+        First call bulk-loads the compressed trie from the sorted best
+        table; :meth:`set_best` keeps it incrementally in sync afterwards.
+        """
+        trie = self._best_trie
+        if trie is None:
+            trie = PrefixTrie()
+            trie.build_from_sorted(sorted(self._best.items()))
+            self._best_trie = trie
+        return trie
+
+    def best_lookup(self, address: int) -> Optional[RibEntry]:
+        """Longest-prefix-match best route for a 32-bit destination address."""
+        match = self.best_trie().lookup(address)
+        return match[1] if match is not None else None
+
+    def covering_best(self, prefix: Prefix) -> Optional[RibEntry]:
+        """The most specific best route whose prefix covers ``prefix``."""
+        match = self.best_trie().lookup_prefix(prefix)
+        return match[1] if match is not None else None
+
+    def covered_best(self, prefix: Prefix) -> Iterator[Tuple[Prefix, RibEntry]]:
+        """Yield best routes equal to or more specific than ``prefix``, sorted."""
+        return self.best_trie().covered_by(prefix)
 
     def best_paths_by_prefix(self) -> Dict[Prefix, ASPath]:
         """Snapshot of prefix -> best AS path (input to the encoding algorithm)."""

@@ -261,6 +261,18 @@ class BGPSpeaker:
         """Prefixes that currently have a best route."""
         return frozenset(self.loc_rib.prefixes())
 
+    def lpm_route(self, address: int) -> Optional[RibEntry]:
+        """Longest-prefix-match best route for a destination address.
+
+        Answers through the Loc-RIB's compressed trie view, so a full DFZ
+        table resolves a dataplane-style lookup without scanning prefixes.
+        """
+        return self.loc_rib.best_lookup(address)
+
+    def covered_routed_prefixes(self, prefix: Prefix) -> List[Prefix]:
+        """Routed prefixes equal to or more specific than ``prefix``, sorted."""
+        return [covered for covered, _ in self.loc_rib.covered_best(prefix)]
+
     # -- internals --------------------------------------------------------
 
     def _ranked(self, prefix: Prefix) -> List[RibEntry]:

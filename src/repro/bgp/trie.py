@@ -1,33 +1,89 @@
-"""Binary prefix trie with longest-prefix-match lookup.
+"""Path-compressed (Patricia) prefix trie with longest-prefix-match lookup.
 
-The data-plane models (two-stage forwarding table, vanilla-router FIB) need
-longest-prefix-match semantics to decide where a probe packet goes.  The trie
-stores an arbitrary payload per prefix and supports exact lookup, LPM lookup
-by address, covered-prefix enumeration and deletion.
+The data-plane models (two-stage forwarding table, vanilla-router FIB), the
+RIBs and the covering-prefix backup aggregation all need longest-prefix-match
+semantics.  The original per-bit trie (kept as
+:class:`repro.bgp.trie_reference.ReferencePrefixTrie`) allocates one node per
+significant bit and walks per-prefix bit tuples — at DFZ scale that is
+several nodes per route plus a memoised bit decomposition per prefix, which
+makes the trie itself the first casualty of internet scale.
+
+This implementation stores *spans*: every node carries the absolute
+``(network, length)`` key of the point it occupies — packed into a single
+integer slot, ``(network << 6) | length`` — and an edge skips straight from
+a node to the next branching point (or stored entry).  Key comparisons are
+a handful of integer operations against a precomputed mask table — no
+per-bit hops, no bit tuples.  Structural invariants:
+
+* the root always exists with key ``(0, 0)`` (it stores ``0.0.0.0/0``);
+* every non-root node either stores an entry or is a branching point with
+  two children, so the trie holds at most ``2n - 1`` nodes (plus the root)
+  for ``n`` entries — bounded memory per route regardless of prefix length;
+* a child's key strictly extends its parent's key, so every walk is bounded
+  by 32 levels.
+
+Beyond the reference surface it adds bulk :meth:`PrefixTrie.build_from_sorted`
+construction (one linear pass over a sorted table, the full-table load path)
+and subtree-aggregate queries (:meth:`PrefixTrie.covering_entry`,
+:meth:`PrefixTrie.subtree_agg`) used by the covering-prefix backup
+aggregation in :mod:`repro.core.backup`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+from sys import getsizeof
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Iterable,
+    Iterator,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 from repro.bgp.prefix import Prefix
 
 __all__ = ["PrefixTrie"]
 
 V = TypeVar("V")
+A = TypeVar("A")
+
+#: ``_MASKS[l]`` keeps the top ``l`` bits of a 32-bit address.
+_MASKS = tuple(
+    0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+    for length in range(33)
+)
 
 
 class _Node(Generic[V]):
-    """A single trie node; ``value`` is set only for inserted prefixes."""
+    """A trie node occupying the absolute key ``(net, plen)``.
 
-    __slots__ = ("zero", "one", "prefix", "value", "has_value")
+    The key is packed as ``(net << 6) | plen`` into one slot: a DFZ-scale
+    trie is millions of nodes, and one slot fewer per node is tens of
+    megabytes.  ``prefix`` doubles as the has-value flag: it is set (to the
+    stored :class:`Prefix` object) exactly when an entry lives here, and
+    ``None`` on purely structural branching nodes.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("key", "zero", "one", "prefix", "value")
+
+    def __init__(self, net: int, plen: int) -> None:
+        self.key = (net << 6) | plen
         self.zero: Optional["_Node[V]"] = None
         self.one: Optional["_Node[V]"] = None
         self.prefix: Optional[Prefix] = None
         self.value: Optional[V] = None
-        self.has_value = False
+
+
+def _common_length(net_a: int, len_a: int, net_b: int, len_b: int) -> int:
+    """Length of the longest common prefix of two ``(network, length)`` keys."""
+    limit = len_a if len_a < len_b else len_b
+    diff = (net_a ^ net_b) & _MASKS[limit]
+    if diff == 0:
+        return limit
+    return 32 - diff.bit_length()
 
 
 class PrefixTrie(Generic[V]):
@@ -35,64 +91,196 @@ class PrefixTrie(Generic[V]):
 
     Provides dictionary-like exact operations plus longest-prefix-match
     queries on 32-bit addresses.  Iteration order is sorted by prefix.
+    Drop-in compatible with the per-bit reference twin; see the module
+    docstring for the structural differences.
     """
 
     def __init__(self) -> None:
-        self._root: _Node[V] = _Node()
+        self._root: _Node[V] = _Node(0, 0)
         self._size = 0
 
     # -- mutation ---------------------------------------------------------
 
     def insert(self, prefix: Prefix, value: V) -> None:
         """Insert or replace the value stored under ``prefix``."""
+        net = prefix.network
+        plen = prefix.length
+        masks = _MASKS
         node = self._root
-        for bit in _prefix_bits(prefix):
-            if bit:
-                if node.one is None:
-                    node.one = _Node()
-                node = node.one
+        while True:
+            # Invariant: node's key covers (net, plen).
+            node_len = node.key & 63
+            if node_len == plen:
+                if node.prefix is None:
+                    self._size += 1
+                node.prefix = prefix
+                node.value = value
+                return
+            bit = (net >> (31 - node_len)) & 1
+            child = node.one if bit else node.zero
+            if child is None:
+                leaf: _Node[V] = _Node(net, plen)
+                leaf.prefix = prefix
+                leaf.value = value
+                if bit:
+                    node.one = leaf
+                else:
+                    node.zero = leaf
+                self._size += 1
+                return
+            child_net = child.key >> 6
+            child_len = child.key & 63
+            common = _common_length(net, plen, child_net, child_len)
+            if common == child_len:
+                node = child
+                continue
+            if common == plen:
+                # The new prefix sits on the edge above ``child``.
+                mid: _Node[V] = _Node(net, plen)
+                mid.prefix = prefix
+                mid.value = value
+                if (child_net >> (31 - plen)) & 1:
+                    mid.one = child
+                else:
+                    mid.zero = child
             else:
-                if node.zero is None:
-                    node.zero = _Node()
-                node = node.zero
-        if not node.has_value:
+                # Keys diverge below the edge: branch at the common point.
+                mid = _Node(net & masks[common], common)
+                leaf = _Node(net, plen)
+                leaf.prefix = prefix
+                leaf.value = value
+                if (child_net >> (31 - common)) & 1:
+                    mid.one = child
+                    mid.zero = leaf
+                else:
+                    mid.zero = child
+                    mid.one = leaf
+            if bit:
+                node.one = mid
+            else:
+                node.zero = mid
             self._size += 1
-        node.prefix = prefix
-        node.value = value
-        node.has_value = True
+            return
+
+    def build_from_sorted(self, items: Iterable[Tuple[Prefix, V]]) -> None:
+        """Bulk-load a sorted stream of ``(prefix, value)`` pairs.
+
+        ``items`` must be sorted by ``(network, length)`` — i.e. plain
+        ``sorted()`` order of :class:`Prefix` — without duplicate prefixes,
+        and the trie must be empty.  Construction is a single linear pass
+        maintaining the rightmost spine as a stack: each new key is attached
+        (after at most amortised O(1) spine pops) without re-walking the trie
+        from the root, which is what makes a ~1M-entry full-table load take
+        seconds instead of re-paying a root-to-leaf descent per prefix.
+        """
+        if self._size:
+            raise ValueError("build_from_sorted requires an empty trie")
+        masks = _MASKS
+        spine = [self._root]
+        size = 0
+        previous = (-1, -1)
+        for prefix, value in items:
+            net = prefix.network
+            plen = prefix.length
+            key = (net, plen)
+            if key <= previous:
+                raise ValueError(
+                    "build_from_sorted input must be sorted by (network, "
+                    f"length) without duplicates; saw {prefix} after "
+                    f"{previous}"
+                )
+            previous = key
+            while True:
+                top = spine[-1]
+                top_net = top.key >> 6
+                top_len = top.key & 63
+                common = _common_length(net, plen, top_net, top_len)
+                if common == top_len:
+                    break  # top covers the new key
+                below = spine[-2]
+                below_len = below.key & 63
+                if below_len >= common:
+                    spine.pop()
+                    continue
+                # Split the below->top edge at the divergence point.  The
+                # new key always lands on the freshly opened side (sorted
+                # input keeps the in-construction region on the spine).
+                mid: _Node[V] = _Node(net & masks[common], common)
+                if (top_net >> (31 - common)) & 1:
+                    mid.one = top
+                else:
+                    mid.zero = top
+                if ((mid.key >> 6) >> (31 - below_len)) & 1:
+                    below.one = mid
+                else:
+                    below.zero = mid
+                spine[-1] = mid
+                break
+            top = spine[-1]
+            top_len = top.key & 63
+            if top_len == plen:
+                # Only reachable for the root / 0.0.0.0/0 with sorted input.
+                top.prefix = prefix
+                top.value = value
+            else:
+                leaf: _Node[V] = _Node(net, plen)
+                leaf.prefix = prefix
+                leaf.value = value
+                if (net >> (31 - top_len)) & 1:
+                    top.one = leaf
+                else:
+                    top.zero = leaf
+                spine.append(leaf)
+            size += 1
+        self._size = size
 
     def remove(self, prefix: Prefix) -> V:
         """Remove ``prefix`` and return its value; raise ``KeyError`` if absent."""
-        path: List[Tuple[_Node[V], int]] = []
+        net = prefix.network
+        plen = prefix.length
+        masks = _MASKS
+        path = []
         node = self._root
-        for bit in _prefix_bits(prefix):
-            path.append((node, bit))
-            node = node.one if bit else node.zero
-            if node is None:
+        while node.key & 63 < plen:
+            bit = (net >> (31 - (node.key & 63))) & 1
+            child = node.one if bit else node.zero
+            if child is None:
                 raise KeyError(prefix)
-        if not node.has_value:
+            child_len = child.key & 63
+            if child_len > plen or (net ^ (child.key >> 6)) & masks[child_len]:
+                raise KeyError(prefix)
+            path.append(node)
+            node = child
+        if node.prefix is None or (net ^ (node.key >> 6)) & masks[plen]:
             raise KeyError(prefix)
         value = node.value
-        node.has_value = False
         node.prefix = None
         node.value = None
         self._size -= 1
-        # Prune now-empty leaf nodes back towards the root.
-        for parent, bit in reversed(path):
-            child = parent.one if bit else parent.zero
-            if child is None:
+        # Contract: a valueless non-root node with fewer than two children
+        # is structurally unnecessary — splice it out (and, after removing a
+        # leaf, re-check its parent, which may have become a pass-through).
+        while path:
+            if node.prefix is not None:
                 break
-            if child.has_value or child.zero is not None or child.one is not None:
+            zero, one = node.zero, node.one
+            if zero is not None and one is not None:
                 break
-            if bit:
-                parent.one = None
+            child = zero if zero is not None else one
+            parent = path[-1]
+            if parent.zero is node:
+                parent.zero = child
             else:
-                parent.zero = None
+                parent.one = child
+            if child is not None:
+                break
+            node = parent
+            path.pop()
         return value  # type: ignore[return-value]
 
     def clear(self) -> None:
         """Remove every entry."""
-        self._root = _Node()
+        self._root = _Node(0, 0)
         self._size = 0
 
     # -- exact queries ----------------------------------------------------
@@ -100,17 +288,17 @@ class PrefixTrie(Generic[V]):
     def get(self, prefix: Prefix, default: Optional[V] = None) -> Optional[V]:
         """Return the value stored exactly under ``prefix`` or ``default``."""
         node = self._find_exact(prefix)
-        if node is None or not node.has_value:
+        if node is None or node.prefix is None:
             return default
         return node.value
 
     def __contains__(self, prefix: Prefix) -> bool:
         node = self._find_exact(prefix)
-        return node is not None and node.has_value
+        return node is not None and node.prefix is not None
 
     def __getitem__(self, prefix: Prefix) -> V:
         node = self._find_exact(prefix)
-        if node is None or not node.has_value:
+        if node is None or node.prefix is None:
             raise KeyError(prefix)
         return node.value  # type: ignore[return-value]
 
@@ -134,41 +322,98 @@ class PrefixTrie(Generic[V]):
         Returns the ``(prefix, value)`` pair of the most specific matching
         entry, or ``None`` when no entry covers the address.
         """
+        masks = _MASKS
         best: Optional[Tuple[Prefix, V]] = None
         node = self._root
-        if node.has_value:
-            best = (node.prefix, node.value)  # type: ignore[assignment]
-        for depth in range(32):
-            bit = (address >> (31 - depth)) & 1
-            node = node.one if bit else node.zero
-            if node is None:
-                break
-            if node.has_value:
+        while True:
+            if node.prefix is not None:
                 best = (node.prefix, node.value)  # type: ignore[assignment]
-        return best
+            node_len = node.key & 63
+            if node_len == 32:
+                return best
+            bit = (address >> (31 - node_len)) & 1
+            child = node.one if bit else node.zero
+            if child is None:
+                return best
+            child_key = child.key
+            if (address ^ (child_key >> 6)) & masks[child_key & 63]:
+                return best
+            node = child
 
     def lookup_prefix(self, prefix: Prefix) -> Optional[Tuple[Prefix, V]]:
         """Return the most specific entry covering ``prefix`` (possibly itself)."""
+        return self.covering_entry(prefix)
+
+    def covering_entry(
+        self, prefix: Prefix, strict: bool = False
+    ) -> Optional[Tuple[Prefix, V]]:
+        """The most specific stored entry whose prefix covers ``prefix``.
+
+        With ``strict=True`` the entry stored under ``prefix`` itself is
+        excluded, so the answer is the nearest *proper* covering entry —
+        what the backup aggregation asks when deciding whether a prefix's
+        subtree collapses into its parent's entry.
+        """
+        net = prefix.network
+        plen = prefix.length
+        masks = _MASKS
         best: Optional[Tuple[Prefix, V]] = None
         node = self._root
-        if node.has_value:
-            best = (node.prefix, node.value)  # type: ignore[assignment]
-        for bit in _prefix_bits(prefix):
-            node = node.one if bit else node.zero
-            if node is None:
-                break
-            if node.has_value:
+        while True:
+            node_len = node.key & 63
+            if node.prefix is not None and not (strict and node_len == plen):
                 best = (node.prefix, node.value)  # type: ignore[assignment]
-        return best
+            if node_len >= plen:
+                return best
+            bit = (net >> (31 - node_len)) & 1
+            child = node.one if bit else node.zero
+            if child is None:
+                return best
+            child_len = child.key & 63
+            if child_len > plen or (net ^ (child.key >> 6)) & masks[child_len]:
+                return best
+            node = child
 
     def covered_by(self, prefix: Prefix) -> Iterator[Tuple[Prefix, V]]:
-        """Yield every stored entry equal to or more specific than ``prefix``."""
-        node = self._root
-        for bit in _prefix_bits(prefix):
-            node = node.one if bit else node.zero
-            if node is None:
-                return
-        yield from self._walk(node)
+        """Yield every stored entry equal to or more specific than ``prefix``.
+
+        Entries come out in sorted prefix order (the subtree is walked
+        shorter-prefix-first, zero branch before one branch).
+        """
+        node = self._subtree_root(prefix)
+        if node is not None:
+            yield from self._walk(node)
+
+    def subtree_agg(
+        self,
+        prefix: Prefix,
+        reducer: Callable[[A, Prefix, V], A],
+        initial: A,
+    ) -> A:
+        """Fold ``reducer`` over every stored entry covered by ``prefix``.
+
+        ``reducer(acc, entry_prefix, value)`` is applied in sorted prefix
+        order starting from ``initial``.  One subtree descent plus a walk of
+        the covered entries — no per-entry trie lookups — which is what the
+        covering-prefix aggregation uses to ask "does every entry under this
+        prefix share one candidate profile?" without materialising lists.
+        """
+        acc = initial
+        node = self._subtree_root(prefix)
+        if node is None:
+            return acc
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.prefix is not None:
+                acc = reducer(acc, current.prefix, current.value)
+            # No ordering guarantee is needed for a fold, but keep the
+            # sorted walk anyway so order-sensitive reducers behave.
+            if current.one is not None:
+                stack.append(current.one)
+            if current.zero is not None:
+                stack.append(current.zero)
+        return acc
 
     # -- iteration --------------------------------------------------------
 
@@ -189,18 +434,78 @@ class PrefixTrie(Generic[V]):
     def __iter__(self) -> Iterator[Prefix]:
         return self.keys()
 
+    # -- size accounting ---------------------------------------------------
+
+    def node_count(self) -> int:
+        """Number of trie nodes currently allocated (at most ``2n`` for ``n`` entries)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if node.zero is not None:
+                stack.append(node.zero)
+            if node.one is not None:
+                stack.append(node.one)
+        return count
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the trie's node structure itself.
+
+        Counts the node objects only: the stored prefixes and values are
+        references shared with the caller (the RIB, the FIB, the backup
+        table) and span keys are packed machine integers, so nothing else
+        is private to the trie.  Directly comparable with the per-bit
+        reference twin's measurement, which additionally owns the memoised
+        bit decompositions its walks require.
+        """
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += getsizeof(node)
+            if node.zero is not None:
+                stack.append(node.zero)
+            if node.one is not None:
+                stack.append(node.one)
+        return total
+
     # -- internals --------------------------------------------------------
 
     def _find_exact(self, prefix: Prefix) -> Optional[_Node[V]]:
+        net = prefix.network
+        plen = prefix.length
         node = self._root
-        for bit in _prefix_bits(prefix):
-            node = node.one if bit else node.zero
-            if node is None:
+        while node.key & 63 < plen:
+            bit = (net >> (31 - (node.key & 63))) & 1
+            child = node.one if bit else node.zero
+            if child is None or child.key & 63 > plen:
                 return None
+            node = child
+        if node.key != (net << 6) | plen:
+            return None
+        return node
+
+    def _subtree_root(self, prefix: Prefix) -> Optional[_Node[V]]:
+        """The shallowest node whose key is covered by ``prefix`` (or None)."""
+        net = prefix.network
+        plen = prefix.length
+        masks = _MASKS
+        node = self._root
+        while node.key & 63 < plen:
+            bit = (net >> (31 - (node.key & 63))) & 1
+            child = node.one if bit else node.zero
+            if child is None:
+                return None
+            child_len = child.key & 63
+            limit = child_len if child_len < plen else plen
+            if (net ^ (child.key >> 6)) & masks[limit]:
+                return None
+            node = child
         return node
 
     def _walk(self, node: _Node[V]) -> Iterator[Tuple[Prefix, V]]:
-        if node.has_value:
+        if node.prefix is not None:
             yield node.prefix, node.value  # type: ignore[misc]
         if node.zero is not None:
             yield from self._walk(node.zero)
@@ -210,10 +515,3 @@ class PrefixTrie(Generic[V]):
     def to_dict(self) -> Dict[Prefix, V]:
         """Materialise the trie as a plain dictionary."""
         return dict(self.items())
-
-
-def _prefix_bits(prefix: Prefix) -> Iterator[int]:
-    """Yield the significant bits of a prefix, most significant first."""
-    network = prefix.network
-    for depth in range(prefix.length):
-        yield (network >> (31 - depth)) & 1

@@ -1,0 +1,258 @@
+"""Per-bit binary prefix trie: the parity reference for ``bgp/trie.py``.
+
+This is the original one-node-per-bit trie, kept verbatim (modulo the
+memoised bit extraction) as the always-obviously-correct twin of the
+path-compressed :class:`repro.bgp.trie.PrefixTrie`.  The fuzz suite in
+``tests/test_trie_fuzz.py`` drives both implementations through identical
+operation sequences and asserts identical answers, and the ``parity-pair``
+static-analysis rule pins the two public surfaces together.
+
+Do not optimise this module: a /24 costs ~25 nodes here by design, which is
+exactly why it cannot host an internet-scale table (and why the compressed
+twin exists).  It remains the right tool for tests and tiny tables.
+"""
+
+from __future__ import annotations
+
+from sys import getsizeof
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.bgp.prefix import Prefix
+
+__all__ = ["ReferencePrefixTrie"]
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    """A single trie node; ``value`` is set only for inserted prefixes."""
+
+    __slots__ = ("zero", "one", "prefix", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.zero: Optional["_Node[V]"] = None
+        self.one: Optional["_Node[V]"] = None
+        self.prefix: Optional[Prefix] = None
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class ReferencePrefixTrie(Generic[V]):
+    """Map from :class:`~repro.bgp.prefix.Prefix` to arbitrary values.
+
+    Provides dictionary-like exact operations plus longest-prefix-match
+    queries on 32-bit addresses.  Iteration order is sorted by prefix.
+    """
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value stored under ``prefix``."""
+        node = self._root
+        for bit in prefix.significant_bits():
+            if bit:
+                if node.one is None:
+                    node.one = _Node()
+                node = node.one
+            else:
+                if node.zero is None:
+                    node.zero = _Node()
+                node = node.zero
+        if not node.has_value:
+            self._size += 1
+        node.prefix = prefix
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Prefix) -> V:
+        """Remove ``prefix`` and return its value; raise ``KeyError`` if absent."""
+        path: List[Tuple[_Node[V], int]] = []
+        node = self._root
+        for bit in prefix.significant_bits():
+            path.append((node, bit))
+            node = node.one if bit else node.zero
+            if node is None:
+                raise KeyError(prefix)
+        if not node.has_value:
+            raise KeyError(prefix)
+        value = node.value
+        node.has_value = False
+        node.prefix = None
+        node.value = None
+        self._size -= 1
+        # Prune now-empty leaf nodes back towards the root.
+        for parent, bit in reversed(path):
+            child = parent.one if bit else parent.zero
+            if child is None:
+                break
+            if child.has_value or child.zero is not None or child.one is not None:
+                break
+            if bit:
+                parent.one = None
+            else:
+                parent.zero = None
+        return value  # type: ignore[return-value]
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._root = _Node()
+        self._size = 0
+
+    # -- exact queries ----------------------------------------------------
+
+    def get(self, prefix: Prefix, default: Optional[V] = None) -> Optional[V]:
+        """Return the value stored exactly under ``prefix`` or ``default``."""
+        node = self._find_exact(prefix)
+        if node is None or not node.has_value:
+            return default
+        return node.value
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        node = self._find_exact(prefix)
+        return node is not None and node.has_value
+
+    def __getitem__(self, prefix: Prefix) -> V:
+        node = self._find_exact(prefix)
+        if node is None or not node.has_value:
+            raise KeyError(prefix)
+        return node.value  # type: ignore[return-value]
+
+    def __setitem__(self, prefix: Prefix, value: V) -> None:
+        self.insert(prefix, value)
+
+    def __delitem__(self, prefix: Prefix) -> None:
+        self.remove(prefix)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # -- longest prefix match ---------------------------------------------
+
+    def lookup(self, address: int) -> Optional[Tuple[Prefix, V]]:
+        """Longest-prefix-match lookup of a 32-bit address.
+
+        Returns the ``(prefix, value)`` pair of the most specific matching
+        entry, or ``None`` when no entry covers the address.
+        """
+        best: Optional[Tuple[Prefix, V]] = None
+        node = self._root
+        if node.has_value:
+            best = (node.prefix, node.value)  # type: ignore[assignment]
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            node = node.one if bit else node.zero
+            if node is None:
+                break
+            if node.has_value:
+                best = (node.prefix, node.value)  # type: ignore[assignment]
+        return best
+
+    def lookup_prefix(self, prefix: Prefix) -> Optional[Tuple[Prefix, V]]:
+        """Return the most specific entry covering ``prefix`` (possibly itself)."""
+        best: Optional[Tuple[Prefix, V]] = None
+        node = self._root
+        if node.has_value:
+            best = (node.prefix, node.value)  # type: ignore[assignment]
+        for bit in prefix.significant_bits():
+            node = node.one if bit else node.zero
+            if node is None:
+                break
+            if node.has_value:
+                best = (node.prefix, node.value)  # type: ignore[assignment]
+        return best
+
+    def covered_by(self, prefix: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """Yield every stored entry equal to or more specific than ``prefix``."""
+        node = self._root
+        for bit in prefix.significant_bits():
+            node = node.one if bit else node.zero
+            if node is None:
+                return
+        yield from self._walk(node)
+
+    # -- iteration --------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Yield ``(prefix, value)`` pairs in sorted prefix order."""
+        yield from self._walk(self._root)
+
+    def keys(self) -> Iterator[Prefix]:
+        """Yield stored prefixes in sorted order."""
+        for prefix, _ in self.items():
+            yield prefix
+
+    def values(self) -> Iterator[V]:
+        """Yield stored values in sorted prefix order."""
+        for _, value in self.items():
+            yield value
+
+    def __iter__(self) -> Iterator[Prefix]:
+        return self.keys()
+
+    # -- size accounting ---------------------------------------------------
+
+    def node_count(self) -> int:
+        """Number of trie nodes currently allocated (roughly 25x entries)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if node.zero is not None:
+                stack.append(node.zero)
+            if node.one is not None:
+                stack.append(node.one)
+        return count
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the trie's working set.
+
+        Counts the node objects plus the memoised per-prefix bit tuples this
+        implementation's walks depend on (every insert/remove/covered_by
+        materialises ``prefix.significant_bits()``, which the prefix then
+        retains).  The stored prefixes and values themselves are references
+        shared with the caller and are not counted, so the number is
+        directly comparable with the compressed twin's — which needs
+        neither per-bit nodes nor bit tuples.
+        """
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += getsizeof(node)
+            if node.has_value:
+                total += getsizeof(node.prefix.significant_bits())
+            if node.zero is not None:
+                stack.append(node.zero)
+            if node.one is not None:
+                stack.append(node.one)
+        return total
+
+    # -- internals --------------------------------------------------------
+
+    def _find_exact(self, prefix: Prefix) -> Optional[_Node[V]]:
+        node = self._root
+        for bit in prefix.significant_bits():
+            node = node.one if bit else node.zero
+            if node is None:
+                return None
+        return node
+
+    def _walk(self, node: _Node[V]) -> Iterator[Tuple[Prefix, V]]:
+        if node.has_value:
+            yield node.prefix, node.value  # type: ignore[misc]
+        if node.zero is not None:
+            yield from self._walk(node.zero)
+        if node.one is not None:
+            yield from self._walk(node.one)
+
+    def to_dict(self) -> Dict[Prefix, V]:
+        """Materialise the trie as a plain dictionary."""
+        return dict(self.items())

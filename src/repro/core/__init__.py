@@ -17,7 +17,12 @@
   plus the SWIFT engine plus a two-stage forwarding table (§3).
 """
 
-from repro.core.backup import BackupComputer, BackupSelection, ReroutingPolicy
+from repro.core.backup import (
+    AggregatedBackupTable,
+    BackupComputer,
+    BackupSelection,
+    ReroutingPolicy,
+)
 from repro.core.burst_detection import BurstDetector, BurstDetectorConfig, BurstState
 from repro.core.encoding import EncodedTags, EncoderConfig, TagEncoder
 from repro.core.fit_score import FitScoreCalculator, FitScoreConfig, LinkPrefixIndex, LinkScore
@@ -32,6 +37,7 @@ from repro.core.loop_guard import LoopAlert, LoopGuard
 from repro.core.swifted_router import SwiftConfig, SwiftedRouter, RerouteAction
 
 __all__ = [
+    "AggregatedBackupTable",
     "BackupComputer",
     "BackupSelection",
     "BurstDetector",

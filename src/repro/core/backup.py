@@ -22,8 +22,14 @@ from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional,
 from repro.bgp.attributes import ASPath
 from repro.bgp.prefix import Prefix
 from repro.bgp.rib import RibEntry
+from repro.bgp.trie import PrefixTrie
 
-__all__ = ["BackupComputer", "BackupSelection", "ReroutingPolicy"]
+__all__ = [
+    "AggregatedBackupTable",
+    "BackupComputer",
+    "BackupSelection",
+    "ReroutingPolicy",
+]
 
 Link = Tuple[int, int]
 
@@ -106,6 +112,118 @@ class BackupSelection:
     def depth(self) -> int:
         """Length of the backup AS path."""
         return len(self.as_path)
+
+
+class AggregatedBackupTable:
+    """A backup table collapsed onto covering prefixes, queried by LPM.
+
+    Built by :meth:`BackupComputer.compute_table_aggregated`.  Instead of one
+    entry per protected prefix, the table keeps an entry only where the
+    candidate profile *changes* along the prefix tree: a covering prefix's
+    entry protects its whole subtree, and descendants whose profile matches
+    their nearest stored ancestor are elided.  Queries resolve through a
+    compressed LPM trie, so :meth:`selections_for` on any protected prefix
+    returns exactly what the per-prefix table would have held.
+
+    Invariants (what makes LPM resolution exact):
+
+    * stored keys are a subset of the protected prefixes;
+    * a protected prefix was elided only when its nearest protected ancestor
+      carries the *same* profile, so profile equality chains down to the
+      nearest stored ancestor;
+    * protected prefixes with no valid backups are stored as *empty* entries
+      when their profile differs from their ancestor's — boundary markers
+      that stop descendants from matching a farther (wrong-profile)
+      ancestor.
+    """
+
+    def __init__(
+        self,
+        entries: Dict[Prefix, Dict[Link, "BackupSelection"]],
+        protected_prefix_count: int,
+        source_entry_count: int,
+    ) -> None:
+        self._entries = entries
+        #: Number of prefixes the source best-route table protected.
+        self.protected_prefix_count = protected_prefix_count
+        #: (prefix, link) selections the expanded per-prefix table holds.
+        self.source_entry_count = source_entry_count
+        #: (prefix, link) selections actually stored after aggregation.
+        self.entry_count = sum(len(per_link) for per_link in entries.values())
+        self._trie: PrefixTrie[Dict[Link, BackupSelection]] = PrefixTrie()
+        self._trie.build_from_sorted(sorted(entries.items()))
+
+    @property
+    def aggregated_prefix_count(self) -> int:
+        """Number of stored prefixes (including empty boundary markers)."""
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def reduction(self) -> float:
+        """How many expanded (prefix, link) entries one stored entry covers."""
+        if self.entry_count == 0:
+            return 1.0 if self.source_entry_count == 0 else float("inf")
+        return self.source_entry_count / self.entry_count
+
+    def items(self) -> Iterable[Tuple[Prefix, Dict[Link, "BackupSelection"]]]:
+        """The stored ``(prefix, per-link template)`` pairs, sorted."""
+        return self._entries.items()
+
+    def lookup(self, prefix: Prefix) -> Optional[Dict[Link, "BackupSelection"]]:
+        """The stored per-link template covering ``prefix`` (do not mutate).
+
+        Selections in the template carry the *stored* (covering) prefix;
+        use :meth:`selections_for` to get them rewritten onto the query
+        prefix.
+        """
+        match = self._trie.covering_entry(prefix)
+        return match[1] if match is not None else None
+
+    def selections_for(self, prefix: Prefix) -> Dict[Link, "BackupSelection"]:
+        """Per-link backup selections for ``prefix`` (empty when unprotected)."""
+        template = self.lookup(prefix)
+        if not template:
+            return {}
+        # Fresh link tuples (not the template's, which are shared across the
+        # covered subtree): the expanded table must be byte-identical under
+        # pickle to the per-prefix reference, whose link objects are built
+        # per prefix, so the object-sharing graph has to match too.
+        result: Dict[Link, BackupSelection] = {}
+        for link, selection in template.items():
+            fresh: Link = (link[0], link[1])
+            result[fresh] = _make_selection(
+                prefix, fresh, selection.next_hop, selection.as_path
+            )
+        return result
+
+    def backup_for(self, prefix: Prefix, link: Link) -> Optional["BackupSelection"]:
+        """The backup selection protecting ``(prefix, link)``, if any."""
+        template = self.lookup(prefix)
+        if not template:
+            return None
+        selection = template.get(_canonical(link))
+        if selection is None:
+            return None
+        return _make_selection(prefix, selection.protected_link, selection.next_hop, selection.as_path)
+
+    def expand(
+        self, prefixes: Iterable[Prefix]
+    ) -> Dict[Prefix, Dict[Link, "BackupSelection"]]:
+        """Materialise the per-prefix table for the given prefixes.
+
+        Over the protected prefixes this reproduces
+        :meth:`BackupComputer.compute_table_reference` exactly (prefixes
+        without selections are omitted, like the reference) — the parity
+        suite asserts byte-identical pickles.
+        """
+        table: Dict[Prefix, Dict[Link, BackupSelection]] = {}
+        for prefix in prefixes:
+            per_link = self.selections_for(prefix)
+            if per_link:
+                table[prefix] = per_link
+        return table
 
 
 class BackupComputer:
@@ -317,6 +435,110 @@ class BackupComputer:
             if per_link:
                 table[prefix] = per_link
         return table
+
+    def compute_table_aggregated(
+        self,
+        local_as: int,
+        best_routes: Mapping[Prefix, RibEntry],
+        alternates_of: Callable[[Prefix], Sequence[RibEntry]],
+        candidates_of: Optional[Callable[[Prefix], Mapping[int, RibEntry]]] = None,
+    ) -> AggregatedBackupTable:
+        """Covering-prefix aggregated backup table (queried by LPM).
+
+        Runs the same profile-grouped ranking as :meth:`compute_table`, then
+        collapses the per-prefix fan-out instead of materialising it: a
+        prefix is stored only when its candidate profile differs from its
+        nearest stored ancestor's, so one entry protects a whole subtree of
+        same-profile descendants.  On a DFZ-shaped table — where nested
+        more-specifics overwhelmingly inherit the covering block's paths —
+        this shrinks the table by an order of magnitude while
+        :meth:`AggregatedBackupTable.selections_for` answers every protected
+        prefix exactly as the per-prefix table would (see the invariants on
+        :class:`AggregatedBackupTable`).
+
+        Capacity-limited policies fall back to storing the (inherently
+        ungroupable) :meth:`compute_table_reference` result per prefix —
+        every protected prefix becomes its own exact key, so LPM never
+        crosses prefixes and the order-dependent usage accounting is
+        preserved verbatim.
+        """
+        if self.policy.capacity_limits:
+            reference = self.compute_table_reference(local_as, best_routes, alternates_of)
+            entries: Dict[Prefix, Dict[Link, BackupSelection]] = {}
+            source = 0
+            for prefix in sorted(best_routes):
+                per_link = reference.get(prefix)
+                if per_link is None:
+                    entries[prefix] = {}
+                else:
+                    entries[prefix] = per_link
+                    source += len(per_link)
+            return AggregatedBackupTable(entries, len(best_routes), source)
+        # Pass 1: profile-grouped ranking, identical to compute_table, but
+        # record each prefix's profile id instead of fanning selections out.
+        pid_of_key: Dict[Tuple, int] = {}
+        winners_of: List[Dict[Link, Optional[Tuple[int, ASPath]]]] = []
+        live_of: List[int] = []
+        profile_of: Dict[Prefix, int] = {}
+        for prefix, best in best_routes.items():
+            if candidates_of is not None:
+                candidates = candidates_of(prefix)
+                key = (
+                    best.peer_as,
+                    id(best.attributes),
+                    tuple(
+                        (peer, id(entry.attributes))
+                        for peer, entry in candidates.items()
+                    ),
+                )
+            else:
+                alternates = alternates_of(prefix)
+                key = (
+                    best.peer_as,
+                    id(best.attributes),
+                    tuple(
+                        (entry.peer_as, id(entry.attributes)) for entry in alternates
+                    ),
+                )
+            pid = pid_of_key.get(key)
+            if pid is None:
+                if candidates_of is not None:
+                    alternates = alternates_of(prefix)
+                winners: Dict[Link, Optional[Tuple[int, ASPath]]] = {}
+                for link in self.protected_links(best.as_path, local_as):
+                    selection = self.select(prefix, link, alternates)
+                    winners[link] = (
+                        (selection.next_hop, selection.as_path)
+                        if selection is not None
+                        else None
+                    )
+                pid = len(winners_of)
+                pid_of_key[key] = pid
+                winners_of.append(winners)
+                live_of.append(sum(1 for winner in winners.values() if winner is not None))
+            profile_of[prefix] = pid
+        # Pass 2: subtree collapse.  Walking the prefixes in sorted order
+        # means every ancestor is seen before its descendants, so a stack of
+        # not-yet-closed ancestors gives the nearest protected ancestor in
+        # O(1) amortised; a prefix whose profile matches it is elided
+        # (profile equality chains down through elided intermediates).
+        entries = {}
+        source = 0
+        stack: List[Tuple[Prefix, int]] = []
+        for prefix in sorted(profile_of):
+            pid = profile_of[prefix]
+            while stack and not stack[-1][0].contains(prefix):
+                stack.pop()
+            source += live_of[pid]
+            if not (stack and stack[-1][1] == pid):
+                winners = winners_of[pid]
+                entries[prefix] = {
+                    link: _make_selection(prefix, link, winner[0], winner[1])
+                    for link, winner in winners.items()
+                    if winner is not None
+                }
+            stack.append((prefix, pid))
+        return AggregatedBackupTable(entries, len(best_routes), source)
 
     def compute_table_reference(
         self,

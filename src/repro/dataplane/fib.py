@@ -47,6 +47,20 @@ class PerPrefixFib:
         self._trie.insert(prefix, next_hop)
         self.updates_applied += 1
 
+    def install_table(self, routes: Dict[Prefix, int]) -> None:
+        """Bulk-install a full table of ``prefix -> next_hop`` entries.
+
+        On an empty FIB this bulk-loads the compressed trie in one sorted
+        pass (the initial full-table provisioning path); otherwise it falls
+        back to per-entry inserts.
+        """
+        if not self._trie:
+            self._trie.build_from_sorted(sorted(routes.items()))
+        else:
+            for prefix, next_hop in routes.items():
+                self._trie.insert(prefix, next_hop)
+        self.updates_applied += len(routes)
+
     def withdraw(self, prefix: Prefix) -> bool:
         """Remove the entry for ``prefix``; returns False when absent."""
         try:
@@ -117,8 +131,11 @@ class TwoStageForwardingTable:
 
     def load_tags(self, tags: Dict[Prefix, int]) -> None:
         """Bulk-load stage 1 (initial provisioning, not a reroute operation)."""
-        for prefix, tag in tags.items():
-            self._stage1.insert(prefix, tag)
+        if not self._stage1:
+            self._stage1.build_from_sorted(sorted(tags.items()))
+        else:
+            for prefix, tag in tags.items():
+                self._stage1.insert(prefix, tag)
         self.stage1_updates += len(tags)
 
     def update_tags(self, patch: Dict[Prefix, Optional[int]]) -> None:

@@ -27,6 +27,7 @@ from repro.traces.columnar import (
 )
 from repro.traces.columnar_store import CorruptColumnStoreError
 from repro.traces.validation import TraceValidationError, ValidationReport
+from repro.traces.fulltable import FullTable, FullTableConfig, FullTableGenerator
 from repro.traces.mrt import (
     TraceRecord,
     TraceReader,
@@ -62,6 +63,9 @@ __all__ = [
     "ColumnarSyntheticTrace",
     "ColumnarTrace",
     "CorruptColumnStoreError",
+    "FullTable",
+    "FullTableConfig",
+    "FullTableGenerator",
     "InternPool",
     "POPULAR_ORGANIZATIONS",
     "PopularOrigin",

@@ -1,0 +1,194 @@
+"""Unit tests for covering-prefix backup aggregation.
+
+Small hand-built tables exercising the invariants documented on
+:class:`repro.core.backup.AggregatedBackupTable`:
+
+* children sharing the covering prefix's candidate profile are elided and
+  resolve through the cover's entry;
+* a profile change (divergent child) creates a new stored entry, and the
+  chain rule applies below it;
+* protected prefixes with no valid backups become *empty* boundary markers
+  so their descendants cannot match a wrong-profile ancestor;
+* expansion over the protected prefixes is byte-identical (pickle) to
+  :meth:`BackupComputer.compute_table_reference`;
+* capacity-limited policies fall back to exact per-prefix storage.
+
+The full-scale (~1M prefix) version of these assertions runs in
+``benchmarks/test_bench_fulltable.py``.
+"""
+
+import pickle
+
+from repro.bgp.attributes import ASPath, PathAttributes
+from repro.bgp.prefix import Prefix
+from repro.bgp.rib import RibEntry
+from repro.core.backup import AggregatedBackupTable, BackupComputer, ReroutingPolicy
+
+_LOCAL_AS = 65000
+
+
+def _entry(prefix, attributes):
+    return RibEntry(prefix, attributes, attributes.next_hop)
+
+
+def _attrs(peer, *hops):
+    return PathAttributes(as_path=ASPath((peer,) + hops), next_hop=peer)
+
+
+class _Table:
+    """A hand-built Loc-RIB slice: per-prefix best + alternates."""
+
+    def __init__(self):
+        self.best = {}
+        self.alternates = {}
+
+    def add(self, prefix, best_attrs, alt_attrs_list):
+        self.best[prefix] = _entry(prefix, best_attrs)
+        self.alternates[prefix] = [_entry(prefix, a) for a in alt_attrs_list]
+
+    def alternates_of(self, prefix):
+        return self.alternates[prefix]
+
+    def candidates_of(self, prefix):
+        best = self.best[prefix]
+        candidates = {best.peer_as: best}
+        for entry in self.alternates[prefix]:
+            candidates[entry.peer_as] = entry
+        return candidates
+
+
+def _nested_table():
+    """10.0.0.0/16 cover; two same-profile /24s; a divergent /24 with a
+    same-profile /25 grandchild; one unrelated flat prefix."""
+    table = _Table()
+    best = _attrs(65001, 200, 300)
+    alt = _attrs(65002, 400, 300)
+    best_div = _attrs(65001, 500, 600)
+    alt_div = _attrs(65002, 700, 600)
+    shared = [
+        Prefix(0x0A000000, 16),  # cover
+        Prefix(0x0A000100, 24),
+        Prefix(0x0A000200, 24),
+    ]
+    for prefix in shared:
+        table.add(prefix, best, [alt])
+    table.add(Prefix(0x0A000300, 24), best_div, [alt_div])  # divergent child
+    table.add(Prefix(0x0A000380, 25), best_div, [alt_div])  # inherits divergent
+    table.add(Prefix(0x0B000000, 16), best, [alt])  # unrelated flat
+    return table
+
+
+def _compute(table, computer=None):
+    computer = computer or BackupComputer()
+    grouped = computer.compute_table(
+        _LOCAL_AS, table.best, table.alternates_of, table.candidates_of
+    )
+    aggregated = computer.compute_table_aggregated(
+        _LOCAL_AS, table.best, table.alternates_of, table.candidates_of
+    )
+    return computer, grouped, aggregated
+
+
+class TestCoveringAggregation:
+    def test_same_profile_children_collapse_into_cover(self):
+        table = _nested_table()
+        _, grouped, aggregated = _compute(table)
+        stored = dict(aggregated.items())
+        # cover + divergent child + unrelated flat; the same-profile /24s
+        # and the grandchild under the divergent /24 are elided.
+        assert sorted(stored) == [
+            Prefix(0x0A000000, 16),
+            Prefix(0x0A000300, 24),
+            Prefix(0x0B000000, 16),
+        ]
+        assert aggregated.protected_prefix_count == 6
+        assert aggregated.source_entry_count == sum(
+            len(per_link) for per_link in grouped.values()
+        )
+        assert aggregated.reduction() == 2.0  # 6 prefixes -> 3 entries
+
+    def test_every_protected_prefix_resolves_exactly(self):
+        table = _nested_table()
+        _, grouped, aggregated = _compute(table)
+        for prefix in table.best:
+            assert aggregated.selections_for(prefix) == grouped[prefix]
+            for link, selection in aggregated.selections_for(prefix).items():
+                assert selection.prefix == prefix
+                assert selection.protected_link == link
+                assert aggregated.backup_for(prefix, link) == selection
+
+    def test_unprotected_prefix_returns_nothing(self):
+        table = _nested_table()
+        _, _, aggregated = _compute(table)
+        outside = Prefix(0x0C000000, 24)
+        assert aggregated.selections_for(outside) == {}
+        assert aggregated.backup_for(outside, (_LOCAL_AS, 65001)) is None
+        # A more-specific under the cover *does* resolve (LPM semantics):
+        # queries are only asked for protected prefixes in practice, and
+        # any query under the cover inherits its template.
+        assert aggregated.lookup(Prefix(0x0A00FF00, 24)) is not None
+
+    def test_expansion_is_byte_identical_to_reference(self):
+        table = _nested_table()
+        computer, _, aggregated = _compute(table)
+        reference = computer.compute_table_reference(
+            _LOCAL_AS, table.best, table.alternates_of
+        )
+        assert pickle.dumps(aggregated.expand(table.best)) == pickle.dumps(reference)
+
+
+class TestBoundaryMarkers:
+    def test_backupless_child_is_stored_as_empty_marker(self):
+        table = _Table()
+        best = _attrs(65001, 200, 300)
+        alt = _attrs(65002, 400, 300)
+        table.add(Prefix(0x0A000000, 16), best, [alt])
+        # The child's only route is the best one: no alternates, no valid
+        # backup for any link — and a different profile than the cover.
+        table.add(Prefix(0x0A000100, 24), best, [])
+        # Grandchild shares the *child's* profile, so it is elided onto the
+        # empty marker, not onto the cover.
+        table.add(Prefix(0x0A000180, 25), best, [])
+        _, grouped, aggregated = _compute(table)
+        assert grouped.get(Prefix(0x0A000100, 24)) is None
+        stored = dict(aggregated.items())
+        assert stored[Prefix(0x0A000100, 24)] == {}
+        assert Prefix(0x0A000180, 25) not in stored
+        # The marker stops the grandchild from inheriting the cover's
+        # backups it must not have.
+        assert aggregated.selections_for(Prefix(0x0A000180, 25)) == {}
+        assert aggregated.selections_for(Prefix(0x0A000000, 16)) != {}
+
+    def test_marker_counts_do_not_inflate_reduction(self):
+        table = _Table()
+        best = _attrs(65001, 200, 300)
+        table.add(Prefix(0x0A000000, 16), best, [])
+        _, _, aggregated = _compute(table)
+        assert aggregated.entry_count == 0
+        assert aggregated.source_entry_count == 0
+        assert aggregated.reduction() == 1.0
+
+
+class TestCapacityFallback:
+    def test_capacity_limited_policy_stores_exact_reference(self):
+        table = _nested_table()
+        policy = ReroutingPolicy(capacity_limits={65002: 3})
+        computer = BackupComputer(policy=policy)
+        computer2, _, aggregated = _compute(table, computer)
+        assert computer2 is computer
+        reference = computer.compute_table_reference(
+            _LOCAL_AS, table.best, table.alternates_of
+        )
+        # Exact per-prefix storage: every protected prefix is its own key.
+        assert aggregated.aggregated_prefix_count == len(table.best)
+        for prefix in table.best:
+            assert aggregated.selections_for(prefix) == reference.get(prefix, {})
+        assert pickle.dumps(aggregated.expand(table.best)) == pickle.dumps(reference)
+
+
+class TestAggregatedTableBasics:
+    def test_empty_table(self):
+        aggregated = AggregatedBackupTable({}, 0, 0)
+        assert len(aggregated) == 0
+        assert aggregated.reduction() == 1.0
+        assert aggregated.selections_for(Prefix(0x0A000000, 8)) == {}
